@@ -1,0 +1,111 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures, but the counterfactuals behind the paper's arguments:
+
+* **AC unit off** — Section 4's premise: undetected VA/SA logic faults
+  strand and lose packets instead of costing one cycle.
+* **Handshake TMR off** — Section 4.6: glitches lose credits/NACKs.
+* **Duplicate retransmission buffers** — Section 4.5: the fool-proof option
+  vs the give-up escape.
+* **Pipeline depth** — Section 2.1's 1/2/3/4-stage design space.
+"""
+
+from benchmarks.conftest import run_once
+from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.noc.simulator import run_simulation
+from repro.types import FaultSite
+
+
+def _workload(messages=800, rate=0.25, max_cycles=60_000, seed=21):
+    return WorkloadConfig(
+        injection_rate=rate,
+        num_messages=messages,
+        warmup_messages=messages // 5,
+        max_cycles=max_cycles,
+        seed=seed,
+    )
+
+
+def _run(noc, faults, messages=800):
+    return run_simulation(
+        SimulationConfig(noc=noc, faults=faults, workload=_workload(messages))
+    )
+
+
+def _ac_ablation():
+    faults = FaultConfig.single_site(FaultSite.SW_ALLOC, 0.002, seed=3)
+    return {
+        "ac_on": _run(NoCConfig(ac_unit_enabled=True), faults),
+        "ac_off": _run(NoCConfig(ac_unit_enabled=False), faults),
+    }
+
+
+def _retx_duplicate_ablation():
+    faults = FaultConfig(
+        rates={FaultSite.LINK: 0.02, FaultSite.RETX_BUFFER: 0.2},
+        link_multi_bit_fraction=1.0,
+        seed=3,
+    )
+    return {
+        "single_copy": _run(NoCConfig(duplicate_retx_buffers=False), faults, 500),
+        "duplicate": _run(NoCConfig(duplicate_retx_buffers=True), faults, 500),
+    }
+
+
+def _pipeline_ablation():
+    results = {}
+    for stages in (1, 2, 3, 4):
+        results[f"{stages}-stage"] = _run(
+            NoCConfig(pipeline_stages=stages), FaultConfig.fault_free(), 800
+        )
+    return results
+
+
+def test_ablation_ac_unit(benchmark):
+    results = run_once(benchmark, _ac_ablation)
+    on, off = results["ac_on"], results["ac_off"]
+    print()
+    print(f"AC on : delivered={on.packets_delivered} corrected={on.counter('sa_errors_corrected')}")
+    stranded = off.packets_injected - off.packets_delivered - off.packets_lost
+    print(f"AC off: delivered={off.packets_delivered} misdirected_flits={off.counter('sa_misdirected_flits')} stranded~={stranded}")
+    assert on.counter("sa_errors_corrected") > 0
+    assert on.packets_lost == 0
+    assert on.counter("packets_delivered_corrupt") == 0
+    # Without the AC, SA faults do real damage.
+    assert (
+        off.counter("sa_misdirected_flits") > 0
+        or off.counter("packets_delivered_corrupt") > 0
+    )
+
+
+def test_ablation_duplicate_retx_buffers(benchmark):
+    results = run_once(benchmark, _retx_duplicate_ablation)
+    single, dup = results["single_copy"], results["duplicate"]
+    print()
+    print(
+        f"single copy: giveups={single.counter('retransmission_giveups')} "
+        f"corrupt={single.counter('packets_delivered_corrupt')}"
+    )
+    print(
+        f"duplicate  : restores={dup.counter('retx_buffer_restores')} "
+        f"corrupt={dup.counter('packets_delivered_corrupt')}"
+    )
+    assert dup.counter("retx_buffer_restores") > 0
+    assert dup.counter("packets_delivered_corrupt") == 0
+    assert (
+        single.counter("retransmission_giveups")
+        + single.counter("packets_delivered_corrupt")
+        > 0
+    )
+
+
+def test_ablation_pipeline_depth(benchmark):
+    results = run_once(benchmark, _pipeline_ablation)
+    print()
+    latencies = {}
+    for name, result in results.items():
+        latencies[name] = result.avg_latency
+        print(f"{name}: latency={result.avg_latency:.2f} cycles")
+    # Shallower pipelines give lower zero-load-ish latency (Section 2.1's
+    # motivation for 1/2-stage routers).
+    assert latencies["2-stage"] < latencies["3-stage"] < latencies["4-stage"]

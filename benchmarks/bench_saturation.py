@@ -1,0 +1,65 @@
+"""Saturation characterization + the HBH-cost-at-saturation ablation.
+
+Two questions the paper's evaluation implies but does not plot directly:
+
+1. Where do the DT (XY) and AD (west-first) networks saturate?  (The
+   Figures 8/9 injection-rate axis spans this knee.)
+2. Does carrying the full HBH protection machinery (sequence tracking,
+   replay windows, retransmission buffers) cost throughput when errors are
+   *absent*?  The paper's "keep the critical path intact" argument implies
+   it must not.
+"""
+
+from benchmarks.conftest import run_once
+from repro.config import FaultConfig
+from repro.experiments.saturation import run_saturation
+from repro.types import LinkProtection, RoutingAlgorithm
+
+
+def test_saturation_curves(benchmark):
+    curves = run_once(benchmark, run_saturation)
+    print()
+    for name, curve in curves.items():
+        sat = curve.saturation_rate()
+        print(
+            f"{name:>12}: saturation ~{sat if sat else '>0.5'} flits/node/cycle, "
+            f"peak throughput {curve.peak_throughput():.3f}"
+        )
+        latencies = [p.avg_latency for p in curve.points]
+        # Latency must grow substantially with load...
+        assert latencies[-1] > 1.5 * latencies[0]
+        # ...and accepted throughput must fall short of offered load at the
+        # top of the sweep (the network is past its knee).
+        top = curve.points[-1]
+        assert curve.peak_throughput() < 0.85 * top.injection_rate
+        # Below saturation the network accepts what is offered.
+        low = curve.points[1]
+        assert low.throughput > 0.7 * low.injection_rate
+
+
+def _hbh_overhead():
+    base = run_saturation(
+        rates=(0.1, 0.25, 0.4),
+        algorithms=(RoutingAlgorithm.XY,),
+        noc_overrides={"link_protection": LinkProtection.NONE},
+    )["xy"]
+    protected = run_saturation(
+        rates=(0.1, 0.25, 0.4),
+        algorithms=(RoutingAlgorithm.XY,),
+        noc_overrides={"link_protection": LinkProtection.HBH},
+    )["xy"]
+    return base, protected
+
+
+def test_hbh_machinery_is_free_without_errors(benchmark):
+    base, protected = run_once(benchmark, _hbh_overhead)
+    print()
+    for b, p in zip(base.points, protected.points):
+        print(
+            f"rate {b.injection_rate:4.2f}: unprotected {b.avg_latency:7.2f} "
+            f"vs HBH {p.avg_latency:7.2f} cycles"
+        )
+        # "All the mechanisms ... kept the critical path of the NoC router
+        # intact": with zero errors, the protected network's latency must
+        # match the unprotected one's.
+        assert abs(p.avg_latency - b.avg_latency) < 0.75

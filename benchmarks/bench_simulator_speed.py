@@ -1,0 +1,48 @@
+"""Engine microbenchmarks: simulator throughput and hot primitives.
+
+These are the only benches where pytest-benchmark's repeated timing is the
+point (the figure benches time one full regeneration instead).
+"""
+
+import random
+
+from repro.coding.hamming import HammingSecDed
+from repro.config import NoCConfig, SimulationConfig, WorkloadConfig
+from repro.noc.allocators import SwitchAllocator
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+
+
+def test_simulation_cycles_per_second(benchmark):
+    """Cycles/second of a loaded 8x8 mesh (the figure benches' workhorse)."""
+
+    def setup():
+        net = Network(SimulationConfig(noc=NoCConfig()))
+        rng = random.Random(1)
+        pid = 0
+        for node in range(64):
+            for _ in range(2):
+                dst = rng.randrange(63)
+                dst = dst if dst < node else dst + 1
+                net.interfaces[node].enqueue(Packet(pid, node, dst, 4, 0))
+                pid += 1
+        return (net,), {}
+
+    def run_100_cycles(net):
+        for _ in range(100):
+            net.step()
+
+    benchmark.pedantic(run_100_cycles, setup=setup, rounds=5, iterations=1)
+
+
+def test_switch_allocator_throughput(benchmark):
+    sa = SwitchAllocator(5, 3)
+    bids = {(0, 0): 1, (0, 1): 2, (1, 0): 2, (2, 2): 3, (3, 0): 4, (4, 1): 0}
+    benchmark(sa.allocate, bids)
+
+
+def test_hamming_decode_throughput(benchmark):
+    codec = HammingSecDed(64)
+    word = codec.flip_bits(codec.encode(0xDEAD_BEEF_CAFE_F00D), (17,))
+    result = benchmark(codec.decode, word)
+    assert result.data == 0xDEAD_BEEF_CAFE_F00D

@@ -1,0 +1,42 @@
+"""Table 1 — power and area overhead of the Allocation Comparator unit.
+
+Paper values at 5 ports / 4 VCs: router 119.55 mW / 0.374862 mm^2; AC unit
+2.02 mW (+1.69%) / 0.004474 mm^2 (+1.19%).  The structural model is
+calibrated at this point; the bench re-derives the table and the scaling
+rows a designer would ask synthesis for.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_ac_overhead(benchmark):
+    rows = run_once(benchmark, run_table1)
+    print()
+    print("Table 1 — Power and Area Overhead of the AC Unit")
+    print(
+        f"{'P':>3} {'V':>3} {'router mW':>11} {'router mm2':>11} "
+        f"{'AC mW':>8} {'AC mm2':>9} {'pwr +%':>8} {'area +%':>8}"
+    )
+    for row in rows:
+        marker = "  <- Table 1" if (row.num_ports, row.num_vcs) == (5, 4) else ""
+        print(
+            f"{row.num_ports:>3} {row.num_vcs:>3} {row.router_power_mw:>11.2f} "
+            f"{row.router_area_mm2:>11.6f} {row.ac_power_mw:>8.2f} "
+            f"{row.ac_area_mm2:>9.6f} {row.ac_power_overhead_pct:>8.2f} "
+            f"{row.ac_area_overhead_pct:>8.2f}{marker}"
+        )
+
+    paper = next(r for r in rows if (r.num_ports, r.num_vcs) == (5, 4))
+    assert paper.router_power_mw == pytest.approx(119.55, rel=1e-6)
+    assert paper.router_area_mm2 == pytest.approx(0.374862, rel=1e-6)
+    assert paper.ac_power_mw == pytest.approx(2.02, rel=1e-6)
+    assert paper.ac_area_mm2 == pytest.approx(0.004474, rel=1e-6)
+    assert paper.ac_power_overhead_pct == pytest.approx(1.69, abs=0.02)
+    assert paper.ac_area_overhead_pct == pytest.approx(1.19, abs=0.02)
+    # The compactness argument holds across nearby configurations.
+    for row in rows:
+        if row.num_vcs <= 4:
+            assert row.ac_area_overhead_pct < 2.0

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The Allocation Comparator at work (the paper's Section 4 / Figure 12).
+
+Part 1 drives the AC unit directly with each of the paper's VA error
+scenarios (1)-(4) and SA error cases (b)-(d), showing which comparison
+catches what.
+
+Part 2 runs the ablation: the same switch-allocator fault storm with the
+AC unit enabled (every error costs one cycle) and disabled (flits are
+misdirected and packets damaged).
+
+Run:  python examples/ac_unit_demo.py
+"""
+
+from repro import (
+    AllocationComparator,
+    FaultConfig,
+    FaultSite,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+    run_simulation,
+)
+
+P, V = 5, 4  # the paper's Table 1 router geometry
+
+
+def part1_unit_level() -> None:
+    ac = AllocationComparator(P, V)
+    print("Part 1 — the three parallel comparisons of Figure 12")
+    print()
+
+    candidates = {(0, 0): [2]}  # routing says: south physical channel
+    cases = [
+        ("(1) invalid output VC id", {(0, 0): (2, V)}, {}),
+        ("(2) output VC granted twice",
+         {(0, 0): (2, 1), (1, 0): (2, 1)},
+         {}),
+        ("(3) reserved output VC granted", {(0, 0): (2, 1)}, {(2, 1): True}),
+        ("(4a) wrong VC, same PC (benign)", {(0, 0): (2, 3)}, {}),
+        ("(4b) VC in the wrong PC", {(0, 0): (0, 1)}, {}),
+    ]
+    for name, grants, reserved in cases:
+        cands = dict(candidates)
+        for req in grants:
+            cands.setdefault(req, [grants[req][0] if name.startswith("(4a)") else 2])
+        errors = ac.check_va(grants, cands, reserved)
+        verdict = (
+            "; ".join(e.reason for e in errors) if errors else "passes (benign)"
+        )
+        print(f"  VA {name:<35} -> {verdict}")
+
+    print()
+    va_state = {(0, 0): 2, (1, 0): 3}
+    sa_cases = [
+        ("(b) flit to the wrong output", [((0, 0), 3)]),
+        ("(c) two flits to one output", [((0, 0), 2), ((1, 0), 2)]),
+        ("(d) multicast", [((0, 0), 2), ((0, 0), 4)]),
+    ]
+    for name, grants in sa_cases:
+        state = dict(va_state)
+        if name.startswith("(c)"):
+            state[(1, 0)] = 2
+        errors = ac.check_sa(grants, state)
+        verdict = "; ".join(e.reason for e in errors) if errors else "passes"
+        print(f"  SA {name:<35} -> {verdict}")
+
+
+def part2_network_level() -> None:
+    print()
+    print("Part 2 — SA fault storm, AC enabled vs disabled (8x8 mesh)")
+    print()
+    faults = FaultConfig.single_site(FaultSite.SW_ALLOC, 0.002, seed=3)
+    workload = WorkloadConfig(
+        injection_rate=0.25, num_messages=800, warmup_messages=160,
+        max_cycles=60_000,
+    )
+    for enabled in (True, False):
+        config = SimulationConfig(
+            noc=NoCConfig(ac_unit_enabled=enabled),
+            faults=faults,
+            workload=workload,
+        )
+        r = run_simulation(config)
+        stranded = r.packets_injected - r.packets_delivered - r.packets_lost
+        print(
+            f"  AC {'ON ' if enabled else 'OFF'}: "
+            f"delivered={r.packets_delivered} "
+            f"corrected={r.counter('sa_errors_corrected')} "
+            f"misdirected_flits={r.counter('sa_misdirected_flits')} "
+            f"corrupt={r.counter('packets_delivered_corrupt')} "
+            f"stranded~={stranded} "
+            f"latency={r.avg_latency:.2f}"
+        )
+    print()
+    print(
+        "With the AC on, every fault is invalidated within a cycle; with it\n"
+        "off, misdirected flits vanish into wrong wormholes and packets are\n"
+        "damaged or stranded — Section 4.3's cases (b)-(d) in action."
+    )
+
+
+if __name__ == "__main__":
+    part1_unit_level()
+    part2_network_level()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Deadlock recovery walkthrough (the paper's Figures 10 and 11).
+
+Scripts a genuine four-packet cyclic wormhole deadlock on a 2x2 mesh with
+one virtual channel (each packet holds one channel of the cycle while its
+head waits for the next), then shows:
+
+1. without recovery, nothing is ever delivered — a true deadlock;
+2. with the probe-based detection (Rules 1-4) and retransmission-buffer
+   recovery enabled, probes circle the cycle, the activation switches every
+   router into recovery mode, flits are absorbed into the idle
+   retransmission buffers, and every packet is delivered;
+3. the Eq. 1 buffer bound that guarantees (2).
+
+Run:  python examples/deadlock_recovery_demo.py
+"""
+
+from repro.core.deadlock import buffer_lower_bound, minimum_total_buffer
+from repro.experiments.deadlock_demo import (
+    CYCLE_SPECS,
+    run_deadlock_demo,
+    run_worst_case_demo,
+)
+
+
+def show(title, outcome):
+    print(title)
+    print(f"  delivered            : {outcome.delivered}/{outcome.expected}")
+    if outcome.cycles_to_resolution is not None:
+        print(f"  resolved at cycle    : {outcome.cycles_to_resolution}")
+    print(f"  probes sent          : {outcome.probes_sent}")
+    print(f"  deadlocks detected   : {outcome.deadlocks_detected}")
+    print(f"  flits absorbed       : {outcome.recovery_forwards}")
+    print()
+
+
+def main() -> None:
+    print("The deadlock cycle (node, source route, destination):")
+    for src, route, dst in CYCLE_SPECS:
+        path = " -> ".join(d.name for d in route)
+        print(f"  node {src}: {path} -> eject at {dst}")
+    print()
+
+    show("[1] Figure 10 scenario, recovery DISABLED (600 cycles):",
+         run_deadlock_demo(recovery=False, max_cycles=600))
+    show("[2] Figure 10 scenario, recovery ENABLED:",
+         run_deadlock_demo(recovery=True))
+    show("[3] Figure 11 worst case (followers pressing in), recovery ENABLED:",
+         run_worst_case_demo(recovery=True))
+
+    print("[4] The Eq. 1 bound for the Figure 10 configuration")
+    m, t, r, n = 4, 4, 3, 3
+    b2 = n * (t + r)
+    print(f"  M={m} flits/packet, T={t}, R={r}, n={n} nodes")
+    print(f"  B2 = n*(T+R) = {b2}  vs  M*N*n = {m * 1 * n}")
+    print(f"  bound satisfied: {buffer_lower_bound(m, [t] * n, [r] * n)}")
+    print(
+        f"  minimum total buffering for guaranteed recovery: "
+        f"{minimum_total_buffer(m, [t] * n)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fault-injection sweep: compare the three link-error handling schemes.
+
+Reproduces the Figure 5 experiment interactively: sweeps the link error
+rate for the paper's HBH scheme and the E2E / FEC baselines, printing
+latency *and* the integrity outcomes the latency axis hides (packets lost,
+packets delivered corrupted, retransmission traffic).
+
+Run:  python examples/fault_injection_sweep.py [--fast]
+"""
+
+import argparse
+
+from repro import (
+    FaultConfig,
+    LinkProtection,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+    run_simulation,
+)
+
+ERROR_RATES = (1e-4, 1e-3, 1e-2, 5e-2, 1e-1)
+
+
+def run_point(scheme: LinkProtection, error_rate: float, messages: int):
+    config = SimulationConfig(
+        noc=NoCConfig(link_protection=scheme),
+        faults=FaultConfig.link_only(error_rate, multi_bit_fraction=0.2, seed=7),
+        workload=WorkloadConfig(
+            injection_rate=0.25,
+            num_messages=messages,
+            warmup_messages=messages // 5,
+        ),
+    )
+    return run_simulation(config)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="smaller runs (quick demo)"
+    )
+    args = parser.parse_args()
+    messages = 500 if args.fast else 1500
+
+    header = (
+        f"{'scheme':>7} {'err rate':>9} {'latency':>9} {'lost':>6} "
+        f"{'corrupt':>8} {'retx':>7} {'energy nJ':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for scheme in (LinkProtection.HBH, LinkProtection.E2E, LinkProtection.FEC):
+        for rate in ERROR_RATES:
+            r = run_point(scheme, rate, messages)
+            retx = r.counter("retransmission_rounds") + r.counter(
+                "e2e_retransmissions"
+            )
+            print(
+                f"{scheme.value:>7} {rate:>9g} {r.avg_latency:>9.2f} "
+                f"{r.packets_lost:>6} {r.counter('packets_delivered_corrupt'):>8} "
+                f"{retx:>7} {r.energy_per_packet_nj:>10.4f}"
+            )
+        print("-" * len(header))
+
+    print(
+        "\nReading the table: HBH latency stays flat and loses nothing;\n"
+        "E2E latency explodes with the error rate (whole-packet, whole-path\n"
+        "retransmissions); FEC looks fast but silently loses or corrupts\n"
+        "packets — the paper's argument for hybrid HBH protection."
+    )
+
+
+if __name__ == "__main__":
+    main()

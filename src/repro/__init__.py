@@ -1,0 +1,90 @@
+"""repro — a reproduction of "Exploring Fault-Tolerant Network-on-Chip
+Architectures" (Park, Nicopoulos, Kim, Vijaykrishnan, Das — DSN 2006).
+
+A cycle-accurate simulator of an 8x8 mesh of 3-stage pipelined
+virtual-channel wormhole routers, together with the paper's fault-tolerance
+mechanisms: flit-based hop-by-hop retransmission with barrel-shift
+retransmission buffers, retransmission-buffer-based deadlock recovery with
+probe-based detection, the Allocation Comparator (AC) unit for VA/SA logic
+errors, and per-module soft-error handling.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+
+    result = run_simulation(SimulationConfig())
+    print(result.summary_lines())
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-figure reproductions.
+"""
+
+from repro.config import (
+    FaultConfig,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.core import (
+    AllocationComparator,
+    DeadlockController,
+    buffer_lower_bound,
+    minimum_total_buffer,
+    recovery_latency,
+)
+from repro.noc import (
+    Flit,
+    MeshTopology,
+    Network,
+    Packet,
+    Router,
+    SimulationResult,
+    Simulator,
+    TorusTopology,
+)
+from repro.campaign import CampaignRow, grid, run_campaign
+from repro.noc.simulator import run_simulation
+from repro.power import AreaModel, EnergyModel
+from repro.types import (
+    Corruption,
+    Direction,
+    FaultSite,
+    FlitType,
+    LinkProtection,
+    RoutingAlgorithm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationComparator",
+    "CampaignRow",
+    "AreaModel",
+    "Corruption",
+    "DeadlockController",
+    "Direction",
+    "EnergyModel",
+    "FaultConfig",
+    "FaultSite",
+    "Flit",
+    "FlitType",
+    "LinkProtection",
+    "MeshTopology",
+    "Network",
+    "NoCConfig",
+    "Packet",
+    "Router",
+    "RoutingAlgorithm",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "TorusTopology",
+    "WorkloadConfig",
+    "buffer_lower_bound",
+    "grid",
+    "minimum_total_buffer",
+    "recovery_latency",
+    "run_campaign",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — one simulation with the platform/fault/workload knobs exposed
+  as flags; prints the result summary and error-recovery counters.
+* ``figure {5,6,7,8,9,10,13}`` — regenerate a paper figure; prints the
+  series table and an ASCII chart of the shape.
+* ``table1`` — the AC-unit area/power table.
+* ``sweep`` — latency vs injection rate (saturation curves) for a routing
+  algorithm, the standard NoC characterization the paper's Figures 8/9
+  build on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import (
+    FaultConfig,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.report.charts import render_comparison_table, render_series
+from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant NoC simulator (Park et al., DSN 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("--width", type=int, default=8)
+    run.add_argument("--height", type=int, default=8)
+    run.add_argument("--vcs", type=int, default=3, help="virtual channels per port")
+    run.add_argument("--buffer-depth", type=int, default=4)
+    run.add_argument("--flits", type=int, default=4, help="flits per packet")
+    run.add_argument(
+        "--routing",
+        choices=[a.value for a in RoutingAlgorithm if a is not RoutingAlgorithm.SOURCE],
+        default="xy",
+    )
+    run.add_argument(
+        "--scheme", choices=[s.value for s in LinkProtection], default="hbh"
+    )
+    run.add_argument("--pipeline-stages", type=int, default=3, choices=(1, 2, 3, 4))
+    run.add_argument("--rate", type=float, default=0.25, help="flits/node/cycle")
+    run.add_argument(
+        "--pattern", default="uniform", help="uniform|bit_complement|tornado|transpose"
+    )
+    run.add_argument("--messages", type=int, default=2000)
+    run.add_argument("--warmup", type=int, default=400)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--link-error-rate", type=float, default=0.0)
+    run.add_argument(
+        "--multi-bit-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of link errors that defeat SEC",
+    )
+    run.add_argument("--rt-error-rate", type=float, default=0.0)
+    run.add_argument("--va-error-rate", type=float, default=0.0)
+    run.add_argument("--sa-error-rate", type=float, default=0.0)
+    run.add_argument("--no-ac", action="store_true", help="disable the AC unit")
+    run.add_argument(
+        "--deadlock-recovery", action="store_true", help="enable probing + recovery"
+    )
+    run.add_argument(
+        "--torus", action="store_true", help="torus topology instead of mesh"
+    )
+    run.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", choices=["5", "6", "7", "8", "9", "10", "13"])
+    fig.add_argument("--messages", type=int, default=1200)
+    fig.add_argument("--no-chart", action="store_true")
+
+    sub.add_parser("table1", help="the AC-unit overhead table")
+
+    sweep = sub.add_parser("sweep", help="latency vs injection rate")
+    sweep.add_argument(
+        "--routing",
+        choices=["xy", "west_first", "fully_adaptive"],
+        default="xy",
+    )
+    sweep.add_argument("--messages", type=int, default=600)
+    sweep.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45],
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.noc.simulator import run_simulation
+
+    rates = {}
+    for site, value in (
+        (FaultSite.LINK, args.link_error_rate),
+        (FaultSite.ROUTING, args.rt_error_rate),
+        (FaultSite.VC_ALLOC, args.va_error_rate),
+        (FaultSite.SW_ALLOC, args.sa_error_rate),
+    ):
+        if value:
+            rates[site] = value
+    config = SimulationConfig(
+        noc=NoCConfig(
+            width=args.width,
+            height=args.height,
+            topology="torus" if args.torus else "mesh",
+            num_vcs=args.vcs,
+            vc_buffer_depth=args.buffer_depth,
+            flits_per_packet=args.flits,
+            pipeline_stages=args.pipeline_stages,
+            routing=RoutingAlgorithm(args.routing),
+            link_protection=LinkProtection(args.scheme),
+            ac_unit_enabled=not args.no_ac,
+            deadlock_recovery_enabled=args.deadlock_recovery,
+        ),
+        faults=FaultConfig(
+            rates=rates,
+            link_multi_bit_fraction=args.multi_bit_fraction,
+            seed=args.seed,
+        ),
+        workload=WorkloadConfig(
+            pattern=args.pattern,
+            injection_rate=args.rate,
+            num_messages=args.messages,
+            warmup_messages=args.warmup,
+            seed=args.seed,
+        ),
+    )
+    result = run_simulation(config)
+    if args.json:
+        from repro.serialization import result_to_json
+
+        print(result_to_json(result))
+        return 0
+    print(result.summary_lines())
+    interesting = {
+        name: count
+        for name, count in sorted(result.counters.items())
+        if count and not name.startswith("e_")
+    }
+    if interesting:
+        print("\ncounters:")
+        for name, count in interesting.items():
+            print(f"  {name:<28} {count}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    number = args.number
+    warmup = args.messages // 5
+    chart = not args.no_chart
+    if number == "5":
+        from repro.experiments.figure5 import run_figure5
+
+        results = run_figure5(num_messages=args.messages, warmup=warmup)
+        xs = [p.error_rate for p in results["hbh"]]
+        series = {k.upper(): [p.avg_latency for p in v] for k, v in results.items()}
+        _emit("Figure 5 — latency (cycles) vs error rate", xs, series, chart, log_x=True)
+    elif number in ("6", "7"):
+        from repro.experiments.figure6_7 import run_figure6_7
+
+        results = run_figure6_7(num_messages=args.messages, warmup=warmup)
+        xs = [p.error_rate for p in results["NR"]]
+        if number == "6":
+            series = {k: [p.avg_latency for p in v] for k, v in results.items()}
+            _emit("Figure 6 — HBH latency (cycles)", xs, series, chart, log_x=True)
+        else:
+            series = {
+                k: [p.energy_per_packet_nj for p in v] for k, v in results.items()
+            }
+            _emit("Figure 7 — HBH energy/message (nJ)", xs, series, chart, log_x=True)
+    elif number in ("8", "9"):
+        from repro.experiments.figure8_9 import run_figure8_9
+
+        results = run_figure8_9()
+        xs = [p.injection_rate for p in results["AD"]]
+        if number == "8":
+            series = {k: [p.tx_utilization for p in v] for k, v in results.items()}
+            _emit("Figure 8 — transmission buffer utilization", xs, series, chart)
+        else:
+            series = {k: [p.retx_utilization for p in v] for k, v in results.items()}
+            _emit("Figure 9 — retransmission buffer utilization", xs, series, chart)
+    elif number == "10":
+        from repro.experiments.deadlock_demo import main as deadlock_main
+
+        deadlock_main()
+    elif number == "13":
+        from repro.experiments.figure13 import run_figure13
+
+        results = run_figure13(num_messages=args.messages, warmup=warmup)
+        xs = [p.error_rate for p in results["LINK-HBH"]]
+        series = {
+            k: [p.corrected_per_kmsg for p in v] for k, v in results.items()
+        }
+        _emit(
+            "Figure 13(a) — corrected errors per 1,000 messages",
+            xs,
+            series,
+            chart,
+            log_x=True,
+        )
+        energy = {
+            k: [p.energy_per_packet_nj for p in v] for k, v in results.items()
+        }
+        _emit("Figure 13(b) — energy per packet (nJ)", xs, energy, chart, log_x=True)
+    return 0
+
+
+def _emit(title, xs, series, chart, log_x=False) -> None:
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    print(render_comparison_table(["x"] + list(series), rows, title))
+    if chart:
+        print()
+        print(render_series(title, xs, series, log_x=log_x))
+    print()
+
+
+def _cmd_table1() -> int:
+    from repro.experiments.table1 import main as table1_main
+
+    table1_main()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.noc.simulator import run_simulation
+
+    latencies = []
+    for rate in args.rates:
+        config = SimulationConfig(
+            noc=NoCConfig(routing=RoutingAlgorithm(args.routing)),
+            workload=WorkloadConfig(
+                injection_rate=rate,
+                num_messages=args.messages,
+                warmup_messages=args.messages // 5,
+                max_cycles=60_000,
+            ),
+        )
+        result = run_simulation(config)
+        latencies.append(result.avg_latency)
+        print(f"rate {rate:5.2f}: latency {result.avg_latency:8.2f} cycles")
+    print()
+    print(
+        render_series(
+            f"Latency vs injection rate ({args.routing})",
+            list(args.rates),
+            {"latency": latencies},
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

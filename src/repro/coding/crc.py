@@ -1,0 +1,94 @@
+"""Cyclic redundancy checks.
+
+The end-to-end (E2E) baseline checks packet integrity only at the destination
+network interface; a CRC over the whole packet payload is the standard way to
+do that, so we provide a small table-driven CRC engine plus the two common
+polynomial instances used in on-chip and ATM-style links.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Crc:
+    """Table-driven CRC over byte streams.
+
+    Parameters
+    ----------
+    width:
+        CRC width in bits (8 or 16 here, any width up to 64 works).
+    polynomial:
+        Generator polynomial without the leading ``x**width`` term, MSB-first.
+    initial:
+        Initial register value.
+    final_xor:
+        Value XORed into the register at the end.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        polynomial: int,
+        initial: int = 0,
+        final_xor: int = 0,
+    ):
+        if width < 1 or width > 64:
+            raise ValueError("CRC width must be in 1..64")
+        self.width = width
+        self.polynomial = polynomial
+        self.initial = initial
+        self.final_xor = final_xor
+        self._mask = (1 << width) - 1
+        self._top = 1 << (width - 1)
+        self._table = self._build_table()
+
+    def _build_table(self) -> Sequence[int]:
+        table = []
+        for byte in range(256):
+            reg = byte << (self.width - 8) if self.width >= 8 else byte
+            for _ in range(8):
+                if reg & self._top:
+                    reg = ((reg << 1) ^ self.polynomial) & self._mask
+                else:
+                    reg = (reg << 1) & self._mask
+            table.append(reg)
+        return tuple(table)
+
+    def compute(self, data: Iterable[int]) -> int:
+        """CRC of an iterable of byte values (each 0..255)."""
+        reg = self.initial
+        for byte in data:
+            if not 0 <= byte <= 255:
+                raise ValueError(f"byte value out of range: {byte}")
+            if self.width >= 8:
+                idx = ((reg >> (self.width - 8)) ^ byte) & 0xFF
+                reg = ((reg << 8) ^ self._table[idx]) & self._mask
+            else:
+                for bit in range(7, -1, -1):
+                    incoming = (byte >> bit) & 1
+                    msb = (reg >> (self.width - 1)) & 1
+                    reg = ((reg << 1) & self._mask)
+                    if msb ^ incoming:
+                        reg ^= self.polynomial
+        return reg ^ self.final_xor
+
+    def compute_int(self, value: int, num_bytes: int) -> int:
+        """CRC of an integer serialized big-endian into ``num_bytes``."""
+        if value < 0 or value >> (8 * num_bytes):
+            raise ValueError(f"{value:#x} does not fit in {num_bytes} bytes")
+        data = [(value >> (8 * i)) & 0xFF for i in range(num_bytes - 1, -1, -1)]
+        return self.compute(data)
+
+    def verify(self, data: Iterable[int], crc: int) -> bool:
+        return self.compute(data) == crc
+
+    def __repr__(self) -> str:
+        return f"Crc(width={self.width}, polynomial={self.polynomial:#x})"
+
+
+#: CRC-8/ATM (HEC), polynomial x^8 + x^2 + x + 1.
+CRC8_ATM = Crc(8, 0x07)
+
+#: CRC-16/CCITT-FALSE, polynomial x^16 + x^12 + x^5 + 1.
+CRC16_CCITT = Crc(16, 0x1021, initial=0xFFFF)

@@ -1,0 +1,200 @@
+"""Extended Hamming SEC/DED codec.
+
+Single Error Correction / Double Error Detection is the code class the paper
+assumes for flit protection: the error detection/correction unit of Figure 1
+corrects any single-bit upset in place and *detects* (but cannot correct)
+double-bit upsets, which is what triggers a retransmission in the hybrid
+HBH scheme (Section 3).
+
+The implementation is a textbook extended Hamming code over integers-as-bit-
+vectors: ``r`` parity bits protect up to ``2**r - r - 1`` data bits, plus one
+overall parity bit to tell single from double errors.
+
+Codeword layout (1-indexed, positions 1..n):
+
+* positions that are powers of two hold Hamming parity bits,
+* position 0 (we store it as the extra top bit) holds the overall parity,
+* all other positions hold data bits, LSB-first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome classes of a SEC/DED decode.
+
+    These are exactly the symbolic :class:`repro.types.Corruption` classes
+    the simulator's hot path uses: OK <-> NONE, CORRECTED <-> SINGLE,
+    DETECTED <-> MULTI.
+    """
+
+    OK = "ok"  # no error
+    CORRECTED = "corrected"  # single-bit error, corrected
+    DETECTED = "detected"  # double-bit error, uncorrectable
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    status: DecodeStatus
+    corrected_position: int = -1  # 1-indexed codeword position, -1 if none
+
+
+class HammingSecDed:
+    """Extended Hamming SEC/DED codec for ``data_bits``-wide words.
+
+    >>> codec = HammingSecDed(8)
+    >>> word = codec.encode(0b1011_0010)
+    >>> codec.decode(word).status
+    <DecodeStatus.OK: 'ok'>
+    >>> codec.decode(word ^ (1 << 3)).status
+    <DecodeStatus.CORRECTED: 'corrected'>
+    >>> codec.decode(word ^ 0b101).status
+    <DecodeStatus.DETECTED: 'detected'>
+    """
+
+    def __init__(self, data_bits: int):
+        if data_bits < 1:
+            raise ValueError("data_bits must be positive")
+        self.data_bits = data_bits
+        self.parity_bits = self._required_parity_bits(data_bits)
+        # Hamming codeword length excluding the overall parity bit.
+        self.hamming_length = data_bits + self.parity_bits
+        #: Total codeword width including the overall (DED) parity bit.
+        self.codeword_bits = self.hamming_length + 1
+        self._data_positions = self._compute_data_positions()
+
+    @staticmethod
+    def _required_parity_bits(data_bits: int) -> int:
+        r = 0
+        while (1 << r) - r - 1 < data_bits:
+            r += 1
+        return r
+
+    def _compute_data_positions(self) -> List[int]:
+        """1-indexed codeword positions that carry data bits."""
+        positions = []
+        pos = 1
+        while len(positions) < self.data_bits:
+            if pos & (pos - 1) != 0:  # not a power of two -> data position
+                positions.append(pos)
+            pos += 1
+        return positions
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        """Encode ``data`` into an extended-Hamming codeword.
+
+        The returned integer uses bit ``i-1`` for codeword position ``i``
+        and the top bit (``hamming_length``) for the overall parity.
+        """
+        if data < 0 or data >> self.data_bits:
+            raise ValueError(
+                f"data {data:#x} does not fit in {self.data_bits} bits"
+            )
+        word = 0
+        for i, pos in enumerate(self._data_positions):
+            if (data >> i) & 1:
+                word |= 1 << (pos - 1)
+        # Hamming parity bits: parity bit at position 2**j covers all
+        # positions whose j-th index bit is set.
+        for j in range(self.parity_bits):
+            p = 1 << j
+            parity = 0
+            for pos in range(1, self.hamming_length + 1):
+                if pos & p and pos != p:
+                    parity ^= (word >> (pos - 1)) & 1
+            if parity:
+                word |= 1 << (p - 1)
+        # Overall parity over the whole Hamming word (even parity).
+        if self._parity_of(word):
+            word |= 1 << self.hamming_length
+        return word
+
+    @staticmethod
+    def _parity_of(value: int) -> int:
+        return bin(value).count("1") & 1
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Decode a codeword, correcting a single-bit error if present."""
+        if codeword < 0 or codeword >> self.codeword_bits:
+            raise ValueError(
+                f"codeword {codeword:#x} does not fit in {self.codeword_bits} bits"
+            )
+        hamming = codeword & ((1 << self.hamming_length) - 1)
+        overall = (codeword >> self.hamming_length) & 1
+
+        syndrome = 0
+        for j in range(self.parity_bits):
+            p = 1 << j
+            parity = 0
+            for pos in range(1, self.hamming_length + 1):
+                if pos & p:
+                    parity ^= (hamming >> (pos - 1)) & 1
+            if parity:
+                syndrome |= p
+        overall_mismatch = self._parity_of(hamming) != overall
+
+        if syndrome == 0 and not overall_mismatch:
+            return DecodeResult(self._extract(hamming), DecodeStatus.OK)
+        if syndrome == 0 and overall_mismatch:
+            # Error in the overall parity bit itself: data is intact.
+            return DecodeResult(
+                self._extract(hamming), DecodeStatus.CORRECTED, self.codeword_bits
+            )
+        if overall_mismatch:
+            # Odd number of errors with a nonzero syndrome: single error.
+            if syndrome <= self.hamming_length:
+                hamming ^= 1 << (syndrome - 1)
+                return DecodeResult(
+                    self._extract(hamming), DecodeStatus.CORRECTED, syndrome
+                )
+            # Syndrome points outside the word: uncorrectable.
+            return DecodeResult(self._extract(hamming), DecodeStatus.DETECTED)
+        # Nonzero syndrome, overall parity consistent: double error.
+        return DecodeResult(self._extract(hamming), DecodeStatus.DETECTED)
+
+    def _extract(self, hamming: int) -> int:
+        data = 0
+        for i, pos in enumerate(self._data_positions):
+            if (hamming >> (pos - 1)) & 1:
+                data |= 1 << i
+        return data
+
+    # -- convenience ------------------------------------------------------
+
+    def check(self, codeword: int) -> DecodeStatus:
+        """Status-only decode (what the router's check unit computes)."""
+        return self.decode(codeword).status
+
+    def flip_bits(self, codeword: int, positions: Tuple[int, ...]) -> int:
+        """Return ``codeword`` with the given 1-indexed bit positions flipped.
+
+        Used by tests and by the network-interface payload path to model
+        channel upsets on a real codeword.
+        """
+        for pos in positions:
+            if not 1 <= pos <= self.codeword_bits:
+                raise ValueError(
+                    f"bit position {pos} outside codeword of {self.codeword_bits} bits"
+                )
+            codeword ^= 1 << (pos - 1)
+        return codeword
+
+    @property
+    def overhead_bits(self) -> int:
+        """Check bits added per data word (Hamming parity + overall parity)."""
+        return self.codeword_bits - self.data_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"HammingSecDed(data_bits={self.data_bits}, "
+            f"codeword_bits={self.codeword_bits})"
+        )

@@ -1,0 +1,270 @@
+"""Configuration dataclasses for the simulator and experiments.
+
+All configuration is immutable (frozen dataclasses) so that a config object
+can be shared between a network, its statistics collectors and an experiment
+harness without aliasing surprises.  Derived quantities are exposed as
+properties.
+
+The defaults reproduce the paper's simulation platform (Section 2.2):
+
+* 64-node (8x8) mesh,
+* 3-stage pipelined routers,
+* 5 physical channels per router (N/E/S/W + PE),
+* 3 virtual channels per physical channel,
+* 4 flits per packet,
+* single-cycle link traversal,
+* uniform injection at a configurable rate (flits/node/cycle).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
+
+#: Number of physical channels of a mesh router (N, E, S, W, LOCAL).
+NUM_PORTS = 5
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Static parameters of the simulated network.
+
+    Parameters
+    ----------
+    width, height:
+        Mesh dimensions (the paper uses 8x8).
+    topology:
+        ``"mesh"`` (the paper's platform) or ``"torus"`` (extension: adds
+        wraparound links; dimension-ordered routing then has cyclic channel
+        dependencies across the wrap links, so pair it with
+        ``deadlock_recovery_enabled`` — the recovery scheme substitutes for
+        dateline VC classes).
+    num_vcs:
+        Virtual channels per physical channel (paper: 3).
+    vc_buffer_depth:
+        Flit slots per input VC buffer (the "transmission buffer" of
+        Section 3.2; paper's Figure 10 example uses 4).
+    flits_per_packet:
+        Packet length in flits (paper: 4).
+    retx_buffer_depth:
+        Depth of the per-VC barrel-shift retransmission buffer.  The paper
+        derives 3 (link + check + NACK cycles); Section 3.2 notes a larger
+        value may be needed when the buffers also serve deadlock recovery.
+    pipeline_stages:
+        Router pipeline depth (1, 2, 3 or 4).  Affects the recovery latency
+        of intra-router logic errors (Section 4) and the header's per-hop
+        latency. The paper simulates 3-stage routers.
+    routing:
+        Routing algorithm (paper's DT = XY, AD = WEST_FIRST).
+    link_protection:
+        Link-error handling scheme (Figure 5's comparison axis).
+    deadlock_recovery_enabled:
+        Enable the probe-based detection + retransmission-buffer recovery of
+        Section 3.2.
+    deadlock_threshold:
+        ``C_thres``: blocked cycles before a router sends a probe (Rule 1).
+    ac_unit_enabled:
+        Enable the Allocation Comparator of Section 4.1/4.3.  Disabling it
+        is the ablation: VA/SA logic faults then cause packet loss and
+        stranded wormholes instead of 1-cycle corrections.
+    duplicate_retx_buffers:
+        The Section 4.5 "fool-proof" option: a duplicate copy protects the
+        retransmission buffer itself against upsets at 2x buffer cost.
+    handshake_tmr:
+        Section 4.6: triple-modular-redundant handshake lines.  Disabling
+        it is the ablation where a single glitch loses a credit or a NACK.
+    max_nack_retries:
+        After this many NACKs for the same flit the receiver accepts it
+        corrupted instead of looping forever — the Section 4.5 "endless
+        retransmission loop" escape hatch for a corrupted retransmission-
+        buffer copy (without duplicate buffers).
+    """
+
+    width: int = 8
+    height: int = 8
+    topology: str = "mesh"
+    num_vcs: int = 3
+    vc_buffer_depth: int = 4
+    flits_per_packet: int = 4
+    retx_buffer_depth: int = 3
+    pipeline_stages: int = 3
+    routing: RoutingAlgorithm = RoutingAlgorithm.XY
+    link_protection: LinkProtection = LinkProtection.HBH
+    deadlock_recovery_enabled: bool = False
+    deadlock_threshold: int = 32
+    ac_unit_enabled: bool = True
+    duplicate_retx_buffers: bool = False
+    handshake_tmr: bool = True
+    max_nack_retries: int = 8
+    flit_width_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if self.topology not in ("mesh", "torus"):
+            raise ValueError("topology must be 'mesh' or 'torus'")
+        if self.topology == "torus" and (self.width < 3 or self.height < 3):
+            raise ValueError(
+                "a torus needs at least 3 nodes per dimension (smaller wrap "
+                "rings degenerate into duplicate or self links)"
+            )
+        if self.num_vcs < 1:
+            raise ValueError("need at least one virtual channel")
+        if self.vc_buffer_depth < 1:
+            raise ValueError("VC buffers must hold at least one flit")
+        if self.flits_per_packet < 1:
+            raise ValueError("packets must contain at least one flit")
+        if self.retx_buffer_depth < 3:
+            raise ValueError(
+                "the HBH scheme requires a >=3-deep retransmission buffer "
+                "(link + error-check + NACK cycles, Section 3.1)"
+            )
+        if self.pipeline_stages not in (1, 2, 3, 4):
+            raise ValueError("supported router pipelines are 1-4 stages")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_ports(self) -> int:
+        return NUM_PORTS
+
+    def replace(self, **changes: object) -> "NoCConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def deadlock_buffer_bound_ok(self, num_deadlocked_nodes: int) -> bool:
+        """Check the Eq. 1 lower bound for this configuration.
+
+        With homogeneous buffers, Eq. 1 reads
+        ``n * (T + R) > M * ceil(T / M) * n`` where ``T`` is the transmission
+        (VC) buffer depth, ``R`` the retransmission buffer depth and ``M``
+        the packet length.  See :func:`repro.core.deadlock.buffer_lower_bound`
+        for the general, heterogeneous form.
+        """
+        from repro.core.deadlock import buffer_lower_bound
+
+        n = num_deadlocked_nodes
+        return buffer_lower_bound(
+            flits_per_packet=self.flits_per_packet,
+            transmission_depths=[self.vc_buffer_depth] * n,
+            retransmission_depths=[self.retx_buffer_depth] * n,
+        )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection rates, one per fault site.
+
+    Each rate is the probability that a single *operation* at that site
+    suffers a single-event upset:
+
+    * ``LINK``: per flit per link traversal,
+    * ``ROUTING``: per routing computation (headers only),
+    * ``VC_ALLOC``: per successful VA grant,
+    * ``SW_ALLOC``: per successful SA grant,
+    * ``CROSSBAR``: per flit per crossbar traversal,
+    * ``RETX_BUFFER``: per flit stored per cycle,
+    * ``HANDSHAKE``: per handshake-line sample.
+
+    ``link_multi_bit_fraction`` is the conditional probability that a link
+    error affects more than one bit (and thus escapes SEC correction); the
+    paper argues double errors are "not insignificant due to crosstalk" but
+    still rare.
+    """
+
+    rates: Mapping[FaultSite, float] = field(default_factory=dict)
+    link_multi_bit_fraction: float = 0.1
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        for site, rate in self.rates.items():
+            if not isinstance(site, FaultSite):
+                raise TypeError(f"fault site must be a FaultSite, got {site!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate for {site} must be in [0, 1], got {rate}")
+        if not 0.0 <= self.link_multi_bit_fraction <= 1.0:
+            raise ValueError("link_multi_bit_fraction must be in [0, 1]")
+
+    def rate(self, site: FaultSite) -> float:
+        return self.rates.get(site, 0.0)
+
+    @classmethod
+    def fault_free(cls, seed: int = 1) -> "FaultConfig":
+        return cls(rates={}, seed=seed)
+
+    @classmethod
+    def link_only(
+        cls, rate: float, *, multi_bit_fraction: float = 0.1, seed: int = 1
+    ) -> "FaultConfig":
+        return cls(
+            rates={FaultSite.LINK: rate},
+            link_multi_bit_fraction=multi_bit_fraction,
+            seed=seed,
+        )
+
+    @classmethod
+    def single_site(cls, site: FaultSite, rate: float, *, seed: int = 1) -> "FaultConfig":
+        return cls(rates={site: rate}, seed=seed)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Traffic workload parameters.
+
+    ``injection_rate`` is in flits/node/cycle as in the paper; a node's
+    packet inter-arrival time is ``flits_per_packet / injection_rate``
+    cycles on average (Bernoulli per-cycle injection).
+    """
+
+    pattern: str = "uniform"
+    injection_rate: float = 0.25
+    num_messages: int = 2000
+    warmup_messages: int = 500
+    max_cycles: int = 200_000
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.injection_rate <= 0:
+            raise ValueError("injection rate must be positive")
+        if self.num_messages <= 0:
+            raise ValueError("must eject at least one message")
+        if not 0 <= self.warmup_messages < self.num_messages:
+            raise ValueError("warmup must be a proper prefix of the run")
+        if self.max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything a :class:`repro.noc.simulator.Simulator` needs.
+
+    ``payload_ecc_check`` enables the bit-level cross-validation mode: every
+    flit carries a real extended-Hamming codeword, materialized upsets flip
+    real bits, and destinations verify that the SEC/DED decode class matches
+    the symbolic corruption tag (see :mod:`repro.coding.payload_check`).
+    """
+
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig.fault_free)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    collect_power: bool = True
+    collect_utilization: bool = False
+    payload_ecc_check: bool = False
+
+    def replace(self, **changes: object) -> "SimulationConfig":
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: Paper's published synthesis results for the generic 5-port router with 4
+#: VCs per PC (Table 1), used to calibrate the analytic power/area model.
+PAPER_ROUTER_POWER_MW = 119.55
+PAPER_ROUTER_AREA_MM2 = 0.374862
+PAPER_AC_POWER_MW = 2.02
+PAPER_AC_AREA_MM2 = 0.004474
+PAPER_CLOCK_HZ = 500e6
+PAPER_SUPPLY_V = 1.0

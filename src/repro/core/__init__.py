@@ -1,0 +1,35 @@
+"""The paper's fault-tolerance mechanisms.
+
+* :mod:`repro.core.retransmission` — the Figure 3 transmission /
+  retransmission buffer architecture (barrel-shift replay window, rollback
+  queue, recovery-mode absorption) and the per-output-VC channel state.
+* :mod:`repro.core.allocation_comparator` — the Figure 12 AC unit.
+* :mod:`repro.core.deadlock` — probe-based detection (Rules 1-4), the
+  recovery controller and the Eq. 1 buffer-sizing theorem.
+* :mod:`repro.core.logic_recovery` — the Section 4 recovery-latency model
+  for each pipeline depth.
+* :mod:`repro.core.schemes` — link-protection policy objects (HBH / E2E /
+  FEC) applied at link arrival and at the destination NI.
+"""
+
+from repro.core.allocation_comparator import AllocationComparator, AllocationError
+from repro.core.deadlock import (
+    DeadlockController,
+    ProbeDecision,
+    buffer_lower_bound,
+    minimum_total_buffer,
+)
+from repro.core.logic_recovery import recovery_latency
+from repro.core.retransmission import OutputChannel, RetransmissionBuffer
+
+__all__ = [
+    "AllocationComparator",
+    "AllocationError",
+    "DeadlockController",
+    "OutputChannel",
+    "ProbeDecision",
+    "RetransmissionBuffer",
+    "buffer_lower_bound",
+    "minimum_total_buffer",
+    "recovery_latency",
+]

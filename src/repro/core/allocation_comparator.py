@@ -1,0 +1,171 @@
+"""The Allocation Comparator (AC) unit of Figure 12.
+
+The AC is a purely combinational checker that runs in parallel with the
+router pipeline (it never deepens the critical path) and performs three
+comparisons each cycle:
+
+1. **VA vs RT agreement** — every output VC the VA assigned must belong to a
+   physical channel the routing function returned for that input VC
+   (protects against Section 4.1 scenario 4b);
+2. **VA validity/uniqueness** — no assigned output VC id may be out of range
+   (scenario 1) and no output VC may be assigned to two input VCs or
+   re-assigned while reserved (scenarios 2 and 3);
+3. **SA validity** — every switch grant must agree with the VA state (a flit
+   may only be switched to the port its packet's output VC lives on), no two
+   grants may target the same output port, and no input may be granted
+   multiple outputs (multicast) — Section 4.3 cases (b), (c), (d).
+
+The unit raises an error *flag* naming the offending allocation(s); the
+router invalidates those allocations from the previous clock cycle, which
+costs a single cycle (Sections 4.1/4.3).  Under the paper's single-event
+assumption a false positive from an upset inside the AC itself is benign:
+it merely wastes one arbitration cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: (port, vc) identifying a virtual channel.
+VCId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AllocationError:
+    """One flagged allocation."""
+
+    unit: str  # "VA" or "SA"
+    requester: VCId  # the input VC whose allocation is invalidated
+    reason: str
+
+
+class AllocationComparator:
+    """Combinational checker over the RT / VA / SA state (Figure 12)."""
+
+    def __init__(self, num_ports: int, num_vcs: int):
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        #: Cumulative count of invalidations, split by unit.
+        self.va_invalidations = 0
+        self.sa_invalidations = 0
+
+    # -- VA checks -----------------------------------------------------------
+
+    def check_va(
+        self,
+        grants: Mapping[VCId, VCId],
+        routing_candidates: Mapping[VCId, Sequence[int]],
+        reserved: Mapping[VCId, bool],
+    ) -> List[AllocationError]:
+        """Check this cycle's VA grants.
+
+        Parameters
+        ----------
+        grants:
+            input VC -> granted output VC, as latched by the VA this cycle.
+        routing_candidates:
+            input VC -> output *ports* the RT unit returned (the AC's
+            comparison (1) input in Figure 12).
+        reserved:
+            output VC -> True if it was already allocated *before* this
+            cycle (comparison (2)'s "duplicate/reserved" input).
+        """
+        errors: List[AllocationError] = []
+        seen: Dict[VCId, VCId] = {}
+        for requester, (out_port, out_vc) in grants.items():
+            if not (0 <= out_port < self.num_ports and 0 <= out_vc < self.num_vcs):
+                errors.append(
+                    AllocationError("VA", requester, f"invalid output VC ({out_port},{out_vc})")
+                )
+                continue
+            candidates = routing_candidates.get(requester, ())
+            if out_port not in candidates:
+                errors.append(
+                    AllocationError(
+                        "VA",
+                        requester,
+                        f"output port {out_port} disagrees with routing function {tuple(candidates)}",
+                    )
+                )
+                continue
+            out = (out_port, out_vc)
+            if reserved.get(out, False):
+                errors.append(
+                    AllocationError("VA", requester, f"output VC {out} already reserved")
+                )
+                continue
+            if out in seen:
+                errors.append(
+                    AllocationError(
+                        "VA", requester, f"output VC {out} granted twice this cycle"
+                    )
+                )
+                errors.append(
+                    AllocationError(
+                        "VA", seen[out], f"output VC {out} granted twice this cycle"
+                    )
+                )
+                continue
+            seen[out] = requester
+        self.va_invalidations += len(errors)
+        return errors
+
+    # -- SA checks -----------------------------------------------------------
+
+    def check_sa(
+        self,
+        grants: Sequence[Tuple[VCId, int]],
+        va_state: Mapping[VCId, int],
+    ) -> List[AllocationError]:
+        """Check this cycle's switch grants.
+
+        Parameters
+        ----------
+        grants:
+            (input VC, granted output port) pairs, *including* any
+            erroneous duplicates/multicasts a faulted SA produced.
+        va_state:
+            input VC -> output port its allocated output VC lives on
+            (the winning pairing recorded in the VA state table).
+        """
+        errors: List[AllocationError] = []
+        flagged: set = set()
+
+        def flag(requester: VCId, out_port: int, reason: str) -> None:
+            key = (requester, out_port)
+            if key not in flagged:
+                flagged.add(key)
+                errors.append(AllocationError("SA", requester, reason))
+
+        by_output: Dict[int, List[VCId]] = {}
+        by_input: Dict[VCId, List[int]] = {}
+        for requester, out_port in grants:
+            if not 0 <= out_port < self.num_ports:
+                flag(requester, out_port, f"invalid output port {out_port}")
+                continue
+            expected = va_state.get(requester)
+            if expected is None:
+                flag(requester, out_port, "switch grant for an unallocated input VC")
+                continue
+            if out_port != expected:
+                flag(
+                    requester,
+                    out_port,
+                    f"flit directed to port {out_port}, VA state says {expected}",
+                )
+                continue
+            by_output.setdefault(out_port, []).append(requester)
+            by_input.setdefault(requester, []).append(out_port)
+
+        for out_port, requesters in by_output.items():
+            if len(requesters) > 1:
+                for requester in requesters:
+                    flag(requester, out_port, f"two flits granted output port {out_port}")
+        for requester, ports in by_input.items():
+            if len(ports) > 1:
+                for out_port in ports:
+                    flag(requester, out_port, f"multicast grant to ports {sorted(ports)}")
+
+        self.sa_invalidations += len(errors)
+        return errors

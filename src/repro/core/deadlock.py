@@ -1,0 +1,260 @@
+"""Deadlock detection and recovery (Section 3.2).
+
+Three pieces:
+
+* :func:`buffer_lower_bound` / :func:`minimum_total_buffer` — the Eq. 1
+  theorem: recovery is guaranteed when the total buffering (transmission +
+  retransmission) of the deadlocked nodes exceeds ``M x N``.
+* :class:`DeadlockController` — one per router; implements the probing
+  protocol (Rules 1-4) and the recovery-mode state machine.  It is pure
+  decision logic: the router feeds it events and performs the I/O (sending
+  probes over links, moving flits into retransmission buffers).
+* :class:`ProbeDecision` — what the controller tells the router to do with
+  an incoming probe or activation signal.
+
+The probing protocol, quoting the paper:
+
+  *Rule 1*: after a flit is blocked more than ``C_thres`` cycles, send a
+  probe to the next node specifying the suspected VC buffer.
+  *Rule 2*: a node receiving a probe forwards it (updating the VC id) if the
+  named VC is also blocked there or the node is already recovering;
+  otherwise it discards the probe.
+  *Rule 3*: a node discards an activation signal unless it previously saw a
+  probe from the same sender.
+  *Rule 4*: a node that receives a valid activation while waiting for its
+  own probe enters recovery immediately and discards its own probe when it
+  returns.
+
+A probe that returns to its origin proves a cyclic dependency, so there are
+no false positives; the origin then sends an activation along the same path
+and enters recovery itself when the activation returns.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Eq. 1 — the buffer-sizing theorem
+# ---------------------------------------------------------------------------
+
+
+def max_packets_per_buffer(transmission_depth: int, flits_per_packet: int) -> int:
+    """``N_i = ceil(T_i / M)``: the most distinct packets that can occupy a
+    transmission buffer of depth ``T_i`` with ``M``-flit packets."""
+    if transmission_depth < 1 or flits_per_packet < 1:
+        raise ValueError("depths and packet length must be positive")
+    return math.ceil(transmission_depth / flits_per_packet)
+
+
+def buffer_lower_bound(
+    flits_per_packet: int,
+    transmission_depths: Sequence[int],
+    retransmission_depths: Sequence[int],
+) -> bool:
+    """Check Eq. 1: ``B2 = sum(Ti + Ri) > M x N`` with ``N = sum(ceil(Ti/M))``.
+
+    True means the configuration satisfies the theorem's lower bound, i.e.
+    every deadlock over these ``n`` nodes can be absorbed with at least one
+    buffer slot left free, guaranteeing recovery.
+
+    The paper's own examples:
+
+    >>> buffer_lower_bound(4, [4, 4, 4], [3, 3, 3])      # Figure 10
+    True
+    >>> buffer_lower_bound(4, [6, 6, 6, 6], [3, 3, 3, 3])  # Figure 11
+    True
+    """
+    if len(transmission_depths) != len(retransmission_depths):
+        raise ValueError("need one (T, R) pair per deadlocked node")
+    if not transmission_depths:
+        raise ValueError("a deadlock involves at least one node")
+    b2 = sum(transmission_depths) + sum(retransmission_depths)
+    n_packets = sum(
+        max_packets_per_buffer(t, flits_per_packet) for t in transmission_depths
+    )
+    return b2 > flits_per_packet * n_packets
+
+
+def minimum_total_buffer(
+    flits_per_packet: int, transmission_depths: Sequence[int]
+) -> int:
+    """Smallest total buffering ``B2`` that satisfies Eq. 1 (strictly)."""
+    n_packets = sum(
+        max_packets_per_buffer(t, flits_per_packet) for t in transmission_depths
+    )
+    return flits_per_packet * n_packets + 1
+
+
+# ---------------------------------------------------------------------------
+# The probing protocol
+# ---------------------------------------------------------------------------
+
+
+class ProbeAction(enum.Enum):
+    FORWARD = "forward"
+    DISCARD = "discard"
+    DEADLOCK_DETECTED = "deadlock_detected"  # own probe returned
+    ENTER_RECOVERY = "enter_recovery"  # valid activation accepted
+
+
+@dataclass(frozen=True)
+class ProbeDecision:
+    action: ProbeAction
+    #: For FORWARD: the output port / VC the signal continues on.
+    out_port: Optional[int] = None
+    out_vc: Optional[int] = None
+    #: For ENTER_RECOVERY on a non-origin node: also forward the activation.
+    forward_out_port: Optional[int] = None
+    forward_out_vc: Optional[int] = None
+
+
+class DeadlockController:
+    """Per-router deadlock detection/recovery state machine."""
+
+    #: A probe is considered lost (and may be re-sent) after this many
+    #: cycles without returning.
+    PROBE_TIMEOUT_FACTOR = 4
+
+    def __init__(
+        self,
+        node: int,
+        threshold: int,
+        recovery_duration: Optional[int] = None,
+        probe_memory: Optional[int] = None,
+    ):
+        if threshold < 1:
+            raise ValueError("C_thres must be at least one cycle")
+        self.node = node
+        self.threshold = threshold
+        self.recovery_duration = (
+            recovery_duration if recovery_duration is not None else 4 * threshold + 16
+        )
+        #: How long a seen probe origin stays valid for Rule 3.
+        self.probe_memory = probe_memory if probe_memory is not None else 8 * threshold
+        self._seen_probes: Dict[int, int] = {}
+        self._recovery_until = -1
+        self._probe_outstanding_since: Optional[int] = None
+        self._discard_own_probe = False
+        # Counters (surfaced into the run statistics by the router).
+        self.probes_sent = 0
+        self.probes_discarded = 0
+        self.deadlocks_detected = 0
+        self.activations = 0
+
+    # -- recovery mode -------------------------------------------------------
+
+    def in_recovery(self, cycle: int) -> bool:
+        return cycle < self._recovery_until
+
+    def enter_recovery(self, cycle: int) -> None:
+        self._recovery_until = max(
+            self._recovery_until, cycle + self.recovery_duration
+        )
+        self.activations += 1
+
+    # -- Rule 1: launching probes ---------------------------------------------
+
+    def should_probe(self, cycle: int, blocked_cycles: int) -> bool:
+        """Whether a VC blocked for ``blocked_cycles`` should launch a probe."""
+        if blocked_cycles <= self.threshold:
+            return False
+        if self.in_recovery(cycle):
+            return False  # recovery already under way here
+        if self._probe_outstanding_since is not None:
+            timeout = self.PROBE_TIMEOUT_FACTOR * max(self.threshold, 16)
+            if cycle - self._probe_outstanding_since < timeout:
+                return False  # Rule 1 allows one outstanding probe
+            # The old probe is presumed lost/discarded.
+            self._probe_outstanding_since = None
+            self._discard_own_probe = False
+        return True
+
+    def note_probe_sent(self, cycle: int) -> None:
+        self._probe_outstanding_since = cycle
+        self._discard_own_probe = False
+        self.probes_sent += 1
+
+    # -- Rules 2-4: receiving signals -----------------------------------------
+
+    def on_probe(
+        self,
+        cycle: int,
+        origin: int,
+        target_blocked: bool,
+        target_route: Optional[Tuple[int, int]],
+    ) -> ProbeDecision:
+        """Handle an arriving probe naming one of our input VCs.
+
+        Parameters
+        ----------
+        origin:
+            The Rule-1 sender of the probe.
+        target_blocked:
+            Whether the named VC buffer is blocked here (or this node is in
+            recovery mode) — the Rule 2 condition.
+        target_route:
+            The (output port, output VC) the named VC's packet holds, i.e.
+            where a forwarded probe continues; None if the VC holds no
+            routed packet.
+        """
+        self._expire_seen(cycle)
+        if origin == self.node:
+            # Our own probe came back around the cycle.
+            self._probe_outstanding_since = None
+            if self._discard_own_probe:
+                # Rule 4: another node's activation already started recovery.
+                self._discard_own_probe = False
+                self.probes_discarded += 1
+                return ProbeDecision(ProbeAction.DISCARD)
+            self.deadlocks_detected += 1
+            return ProbeDecision(ProbeAction.DEADLOCK_DETECTED)
+        if (target_blocked or self.in_recovery(cycle)) and target_route is not None:
+            self._seen_probes[origin] = cycle
+            return ProbeDecision(
+                ProbeAction.FORWARD, out_port=target_route[0], out_vc=target_route[1]
+            )
+        self.probes_discarded += 1
+        return ProbeDecision(ProbeAction.DISCARD)
+
+    def on_activation(
+        self,
+        cycle: int,
+        origin: int,
+        target_route: Optional[Tuple[int, int]],
+    ) -> ProbeDecision:
+        """Handle an arriving activation signal."""
+        self._expire_seen(cycle)
+        if origin == self.node:
+            # Our activation completed the loop: we switch over last
+            # ("the sender node switches ... after the activation returns").
+            self.enter_recovery(cycle)
+            return ProbeDecision(ProbeAction.ENTER_RECOVERY)
+        if origin not in self._seen_probes:
+            # Rule 3.
+            self.probes_discarded += 1
+            return ProbeDecision(ProbeAction.DISCARD)
+        # Rule 4.
+        if self._probe_outstanding_since is not None:
+            self._discard_own_probe = True
+        self.enter_recovery(cycle)
+        if target_route is None:
+            return ProbeDecision(ProbeAction.ENTER_RECOVERY)
+        return ProbeDecision(
+            ProbeAction.ENTER_RECOVERY,
+            forward_out_port=target_route[0],
+            forward_out_vc=target_route[1],
+        )
+
+    def _expire_seen(self, cycle: int) -> None:
+        expired = [
+            origin
+            for origin, seen in self._seen_probes.items()
+            if cycle - seen > self.probe_memory
+        ]
+        for origin in expired:
+            del self._seen_probes[origin]

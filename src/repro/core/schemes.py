@@ -1,0 +1,186 @@
+"""Link-error handling schemes: HBH, E2E and FEC (Section 3, Figure 5).
+
+The three schemes differ in *where* data is checked and *who* recovers:
+
+* **HBH** (the paper's proposal): every router checks every arriving flit.
+  Single-bit upsets are corrected in place by the SEC stage; uncorrectable
+  upsets are dropped and NACKed, and the sender replays from its 3-deep
+  retransmission buffer (a 3-cycle penalty).  The per-hop logic lives in
+  :meth:`repro.noc.router.Router` (it is entangled with the sequence
+  rollback machinery); this module provides the destination-side policy and
+  the shared header-field corruption model.
+
+* **E2E**: data is checked only at the destination NI.  Any uncorrectable
+  corruption triggers a retransmission request back to the source, which
+  replays the whole packet.  A corrupted destination field misroutes the
+  packet, so the request is issued from the *wrong* destination — and a
+  multi-bit corrupted source field makes the request impossible (packet
+  lost), exactly the failure modes Section 3 describes.
+
+* **FEC**: forward error correction only; the destination's SEC/DED corrects
+  single-bit upsets and *detects* multi-bit ones but nothing is ever
+  retransmitted.  A recoverable (single-bit) destination-field hit sends the
+  packet to a wrong node, where the corrected header lets the NI forward it
+  onward to the true destination ("additional network traffic"); an
+  unrecoverable one loses the packet; uncorrectable payload corruption is
+  delivered corrupt.
+
+Header-field model: a link upset lands in the destination field, the source
+field, or the payload with probabilities proportional to their widths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.types import Corruption, LinkProtection
+
+if TYPE_CHECKING:  # imported for annotations only (avoids a package cycle)
+    from repro.noc.flit import Flit
+
+#: Fraction of a header flit's bits occupied by the destination address and
+#: the source address respectively (6 bits each of a 64-bit flit for an
+#: 8x8 network); exposed for configurability in tests.
+DST_FIELD_FRACTION = 0.10
+SRC_FIELD_FRACTION = 0.10
+
+
+class HeaderField(enum.Enum):
+    DST = "dst"
+    SRC = "src"
+    PAYLOAD = "payload"
+
+
+def pick_header_field(rng) -> HeaderField:
+    """Which field a header-flit upset lands in."""
+    roll = rng.random()
+    if roll < DST_FIELD_FRACTION:
+        return HeaderField.DST
+    if roll < DST_FIELD_FRACTION + SRC_FIELD_FRACTION:
+        return HeaderField.SRC
+    return HeaderField.PAYLOAD
+
+
+def apply_header_upset(
+    flit: Flit, severity: Corruption, field: HeaderField, num_nodes: int, rng
+) -> None:
+    """Mutate a header flit the way an unchecked channel upset would.
+
+    A destination-field hit rewrites ``flit.dst`` to a random other node, so
+    downstream routers genuinely steer the packet to the wrong place; the
+    severity is remembered per field so the destination's SEC/DED can
+    recover single-bit hits (``dst_error``/``src_error`` are the behavioural
+    stand-ins for the real syndrome decode, validated against
+    :class:`repro.coding.hamming.HammingSecDed`).
+    """
+    if field is HeaderField.DST:
+        wrong = rng.randrange(num_nodes - 1)
+        if wrong >= flit.dst:
+            wrong += 1
+        flit.dst = wrong
+        flit.dst_error = _compose(flit.dst_error, severity)
+    elif field is HeaderField.SRC:
+        flit.src_error = _compose(flit.src_error, severity)
+    else:
+        flit.corrupt(severity)
+
+
+def _compose(existing: Corruption, severity: Corruption) -> Corruption:
+    """Two independent single-bit field hits make a double error."""
+    if existing is Corruption.SINGLE and severity is Corruption.SINGLE:
+        return Corruption.MULTI
+    return max(existing, severity, key=lambda c: c.value)
+
+
+class DeliveryAction(enum.Enum):
+    """What the destination NI does with a fully received packet."""
+
+    DELIVER = "deliver"
+    DELIVER_CORRUPT = "deliver_corrupt"
+    REQUEST_RETRANSMISSION = "request_retransmission"  # E2E only
+    FORWARD_TO_TRUE_DST = "forward"  # misdelivered, true dst recovered
+    LOST = "lost"
+
+
+@dataclass(frozen=True)
+class DeliveryDecision:
+    action: DeliveryAction
+    #: For REQUEST_RETRANSMISSION: the (possibly SEC-recovered) source node.
+    source: Optional[int] = None
+    #: For FORWARD_TO_TRUE_DST: the recovered true destination.
+    destination: Optional[int] = None
+
+
+def destination_policy(
+    scheme: LinkProtection, node: int, flits: List[Flit]
+) -> DeliveryDecision:
+    """Destination-NI decision for a complete packet under ``scheme``.
+
+    Everything here uses only information the NI's decoder would have: the
+    per-field severity tags are what the SEC/DED syndrome computation would
+    yield, and a *single*-bit field error is recoverable (the decoder
+    reconstructs the true value) while a multi-bit one is only detectable.
+    """
+    head = flits[0]
+    if head.dst != node:
+        # Ejected at a node that is not even the header's destination — an
+        # undetected logic fault steered the wormhole into the wrong NI.
+        # The NI compares the header address against its own and forwards
+        # the packet onward (it can do no better behaviourally: ``dst`` is
+        # all the hardware knows).
+        return DeliveryDecision(DeliveryAction.FORWARD_TO_TRUE_DST, destination=head.dst)
+    misdelivered = head.true_dst != node
+
+    if scheme is LinkProtection.HBH or scheme is LinkProtection.NONE:
+        # Per-hop checking (or none at all): whatever arrives is final.
+        if misdelivered:
+            # Only reachable via undetected logic faults (AC-off ablations).
+            if head.dst_error is Corruption.SINGLE:
+                return DeliveryDecision(
+                    DeliveryAction.FORWARD_TO_TRUE_DST, destination=head.true_dst
+                )
+            return DeliveryDecision(DeliveryAction.LOST)
+        if any(f.corruption is not Corruption.NONE for f in flits):
+            return DeliveryDecision(DeliveryAction.DELIVER_CORRUPT)
+        return DeliveryDecision(DeliveryAction.DELIVER)
+
+    payload_multi = any(f.corruption is Corruption.MULTI for f in flits)
+    payload_single = any(f.corruption is Corruption.SINGLE for f in flits)
+
+    if scheme is LinkProtection.FEC:
+        if misdelivered:
+            if head.dst_error is Corruption.SINGLE:
+                # SEC recovers the true destination; forward onward.
+                return DeliveryDecision(
+                    DeliveryAction.FORWARD_TO_TRUE_DST, destination=head.true_dst
+                )
+            return DeliveryDecision(DeliveryAction.LOST)
+        if payload_multi or head.dst_error is Corruption.MULTI:
+            return DeliveryDecision(DeliveryAction.DELIVER_CORRUPT)
+        # Single-bit upsets (including a recoverable dst hit that happened
+        # to keep the packet on course) are corrected by the SEC stage.
+        return DeliveryDecision(DeliveryAction.DELIVER)
+
+    if scheme is LinkProtection.E2E:
+        needs_retx = (
+            misdelivered
+            or payload_multi
+            or payload_single
+            or head.dst_error is not Corruption.NONE
+        )
+        # Pure retransmission scheme: *any* detected error voids the packet
+        # ("the original data is checked only at the destination node") and
+        # a clean copy is requested from the source.
+        if not needs_retx:
+            return DeliveryDecision(DeliveryAction.DELIVER)
+        if head.src_error is Corruption.MULTI:
+            # The request cannot be addressed: the paper's unrecoverable
+            # E2E failure mode.
+            return DeliveryDecision(DeliveryAction.LOST)
+        return DeliveryDecision(
+            DeliveryAction.REQUEST_RETRANSMISSION, source=head.src
+        )
+
+    raise ValueError(f"unknown link protection scheme: {scheme}")

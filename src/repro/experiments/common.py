@@ -1,0 +1,79 @@
+"""Shared experiment plumbing: the paper's parameter axes and formatting."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.config import (
+    FaultConfig,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+
+#: The error-rate axis of Figures 5-7 (per-flit per-hop upset probability).
+ERROR_RATES = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+
+#: The error-rate axis of Figure 13 (tops out at 1e-2).
+FIG13_ERROR_RATES = (1e-5, 1e-4, 1e-3, 1e-2)
+
+#: The injection-rate axis of Figures 8-9 (flits/node/cycle).
+INJECTION_RATES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: The paper's fixed operating point for the error sweeps.
+PAPER_INJECTION_RATE = 0.25
+
+
+def paper_noc(**overrides) -> NoCConfig:
+    """The Section 2.2 platform: 8x8 mesh, 3-stage routers, 3 VCs, 4-flit
+    packets, single-cycle links."""
+    return NoCConfig(**overrides)
+
+
+def workload(
+    injection_rate: float,
+    num_messages: int,
+    warmup: int,
+    pattern: str = "uniform",
+    seed: int = 42,
+    max_cycles: int = 300_000,
+) -> WorkloadConfig:
+    return WorkloadConfig(
+        pattern=pattern,
+        injection_rate=injection_rate,
+        num_messages=num_messages,
+        warmup_messages=warmup,
+        max_cycles=max_cycles,
+        seed=seed,
+    )
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render the rows a paper figure plots, one line per x value."""
+    names = list(series)
+    widths = [max(10, len(n) + 2) for n in names]
+    lines = [title, f"{x_label:>12}  " + "  ".join(
+        f"{n:>{w}}" for n, w in zip(names, widths)
+    )]
+    for i, x in enumerate(xs):
+        cells = []
+        for name, w in zip(names, widths):
+            cells.append(f"{fmt.format(series[name][i]):>{w}}")
+        lines.append(f"{x!s:>12}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,16 @@
+"""Fault modelling and injection.
+
+The injector introduces single-event upsets at the seven sites of
+:class:`repro.types.FaultSite` with independently configurable rates
+(Section 2.2: "various soft faults were randomly generated both within the
+routers and on the inter-router links").
+
+Injection is *behavioural* — it perturbs decisions and tags flits — and
+detection elsewhere in the system uses only information the hardware would
+have, never the injector's ground truth.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultEvent, FaultLog
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultLog"]

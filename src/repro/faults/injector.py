@@ -1,0 +1,158 @@
+"""The seeded fault injector.
+
+One injector instance serves the whole network; all randomness flows through
+a single ``random.Random(seed)`` so that a run is exactly reproducible from
+its :class:`repro.config.FaultConfig`.
+
+Each public method corresponds to one fault site and is called by the
+component performing the (potentially faulty) operation:
+
+==================  =====================================================
+method              called per
+==================  =====================================================
+``link_upset``      flit per inter-router link traversal
+``routing_upset``   routing computation (header flits only)
+``va_upset``        successful VA grant
+``sa_upset``        successful SA grant
+``crossbar_upset``  flit per crossbar traversal
+``retx_upset``      flit stored into a retransmission buffer
+``handshake_glitch``  reverse-channel signal sample
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import FaultConfig
+from repro.faults.models import FaultLog
+from repro.types import Corruption, Direction, FaultSite
+
+
+class FaultInjector:
+    """Draws single-event upsets according to a :class:`FaultConfig`."""
+
+    def __init__(self, config: FaultConfig, log_events: bool = False):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.log = FaultLog(log_events=log_events)
+        # Cache rates as plain floats: these are the hottest calls in the
+        # simulator, and attribute/dict lookups dominate otherwise.
+        self._rate_link = config.rate(FaultSite.LINK)
+        self._rate_rt = config.rate(FaultSite.ROUTING)
+        self._rate_va = config.rate(FaultSite.VC_ALLOC)
+        self._rate_sa = config.rate(FaultSite.SW_ALLOC)
+        self._rate_xbar = config.rate(FaultSite.CROSSBAR)
+        self._rate_retx = config.rate(FaultSite.RETX_BUFFER)
+        self._rate_hs = config.rate(FaultSite.HANDSHAKE)
+        self._multi_fraction = config.link_multi_bit_fraction
+
+    @property
+    def is_fault_free(self) -> bool:
+        return (
+            self._rate_link == 0.0
+            and self._rate_rt == 0.0
+            and self._rate_va == 0.0
+            and self._rate_sa == 0.0
+            and self._rate_xbar == 0.0
+            and self._rate_retx == 0.0
+            and self._rate_hs == 0.0
+        )
+
+    # -- link -------------------------------------------------------------
+
+    def link_upset(self, cycle: int, node: int) -> Optional[Corruption]:
+        """Corruption suffered by a flit during one link traversal."""
+        if self._rate_link and self.rng.random() < self._rate_link:
+            severity = (
+                Corruption.MULTI
+                if self.rng.random() < self._multi_fraction
+                else Corruption.SINGLE
+            )
+            self.log.record(FaultSite.LINK, cycle, node, severity.name)
+            return severity
+        return None
+
+    # -- routing logic -----------------------------------------------------
+
+    def routing_upset(self, cycle: int, node: int) -> bool:
+        if self._rate_rt and self.rng.random() < self._rate_rt:
+            self.log.record(FaultSite.ROUTING, cycle, node)
+            return True
+        return False
+
+    def misdirect(
+        self,
+        correct: Sequence[Direction],
+        allowed: Sequence[Direction],
+    ) -> Direction:
+        """Pick the erroneous direction a faulted RT unit outputs.
+
+        ``allowed`` is the universe of directions the (faulty) logic could
+        physically emit — all five ports; the choice excludes the correct
+        candidates so the fault is always an actual misdirection.
+        """
+        wrong = [d for d in allowed if d not in correct]
+        if not wrong:
+            return correct[0]
+        return self.rng.choice(wrong)
+
+    # -- allocator logic ---------------------------------------------------
+
+    def va_upset(self, cycle: int, node: int) -> bool:
+        if self._rate_va and self.rng.random() < self._rate_va:
+            self.log.record(FaultSite.VC_ALLOC, cycle, node)
+            return True
+        return False
+
+    def pick_va_scenario(self) -> str:
+        """Which Section 4.1 VA-error scenario the upset produces.
+
+        Weights are uniform over the four published symptom classes:
+        ``invalid`` (1), ``duplicate`` (2/3 — grant a reserved or doubly
+        granted output VC), ``wrong_vc_same_pc`` (4a, benign) and
+        ``wrong_pc`` (4b).
+        """
+        return self.rng.choice(["invalid", "duplicate", "wrong_vc_same_pc", "wrong_pc"])
+
+    def sa_upset(self, cycle: int, node: int) -> bool:
+        if self._rate_sa and self.rng.random() < self._rate_sa:
+            self.log.record(FaultSite.SW_ALLOC, cycle, node)
+            return True
+        return False
+
+    def pick_sa_scenario(self) -> str:
+        """Section 4.3 SA-error symptom: ``blocked`` (a), ``wrong_output``
+        (b), ``duplicate_output`` (c) or ``multicast`` (d)."""
+        return self.rng.choice(
+            ["blocked", "wrong_output", "duplicate_output", "multicast"]
+        )
+
+    def choice(self, options: Sequence) -> object:
+        """Expose the seeded RNG for scenario construction."""
+        return self.rng.choice(list(options))
+
+    # -- datapath ----------------------------------------------------------
+
+    def crossbar_upset(self, cycle: int, node: int) -> Optional[Corruption]:
+        """Crossbar transients are single-bit upsets (Section 4.4)."""
+        if self._rate_xbar and self.rng.random() < self._rate_xbar:
+            self.log.record(FaultSite.CROSSBAR, cycle, node)
+            return Corruption.SINGLE
+        return None
+
+    def retx_upset(self, cycle: int, node: int) -> bool:
+        """Upset of a flit held in a retransmission buffer (Section 4.5)."""
+        if self._rate_retx and self.rng.random() < self._rate_retx:
+            self.log.record(FaultSite.RETX_BUFFER, cycle, node)
+            return True
+        return False
+
+    # -- handshake lines -----------------------------------------------------
+
+    def handshake_glitch(self, cycle: int, node: int) -> bool:
+        if self._rate_hs and self.rng.random() < self._rate_hs:
+            self.log.record(FaultSite.HANDSHAKE, cycle, node)
+            return True
+        return False

@@ -1,0 +1,57 @@
+"""Fault event records and the bounded fault log.
+
+Every injected upset is counted per site; optionally (``log_events=True``)
+individual :class:`FaultEvent` records are kept for debugging and for the
+fault-injection examples.  The log is bounded so that long simulations at
+high error rates cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, Optional
+
+from repro.types import FaultSite
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected single-event upset."""
+
+    site: FaultSite
+    cycle: int
+    node: int
+    detail: str = ""
+
+
+class FaultLog:
+    """Per-site counters plus an optional bounded event trace."""
+
+    def __init__(self, log_events: bool = False, max_events: int = 10_000):
+        self.counts: Dict[FaultSite, int] = {site: 0 for site in FaultSite}
+        self.log_events = log_events
+        self._events: Deque[FaultEvent] = deque(maxlen=max_events)
+
+    def record(
+        self, site: FaultSite, cycle: int, node: int, detail: str = ""
+    ) -> None:
+        self.counts[site] += 1
+        if self.log_events:
+            self._events.append(FaultEvent(site, cycle, node, detail))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, site: FaultSite) -> int:
+        return self.counts[site]
+
+    def events(self, site: Optional[FaultSite] = None) -> Iterator[FaultEvent]:
+        for event in self._events:
+            if site is None or event.site is site:
+                yield event
+
+    def __repr__(self) -> str:
+        active = {s.value: c for s, c in self.counts.items() if c}
+        return f"FaultLog({active or 'no faults'})"

@@ -1,0 +1,30 @@
+"""The cycle-accurate NoC simulator substrate.
+
+This package models the paper's simulation platform (Section 2.2): a mesh of
+virtual-channel wormhole routers with credit-based flow control, pipelined
+per Figure 2, connected by single-cycle links with reverse channels for
+credits, NACKs and deadlock probes.
+
+The fault-tolerance mechanisms themselves (retransmission buffers, the
+Allocation Comparator, deadlock recovery) live in :mod:`repro.core`; the
+router imports and composes them.
+"""
+
+from repro.noc.flit import Flit
+from repro.noc.network import Network
+from repro.noc.packet import Packet, PacketReassembler
+from repro.noc.router import Router
+from repro.noc.simulator import SimulationResult, Simulator
+from repro.noc.topology import MeshTopology, TorusTopology
+
+__all__ = [
+    "Flit",
+    "MeshTopology",
+    "Network",
+    "Packet",
+    "PacketReassembler",
+    "Router",
+    "SimulationResult",
+    "Simulator",
+    "TorusTopology",
+]

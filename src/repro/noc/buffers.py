@@ -1,0 +1,114 @@
+"""Input virtual-channel buffers (the paper's "transmission buffers").
+
+Each input port of a router has one :class:`VCBuffer` per virtual channel.
+These are plain FIFOs with credit-sized capacity; Section 3.2 calls them the
+*normal transmission buffers* (``T_i`` in Eq. 1).
+
+A ``rollback_queue`` sits logically in front of the FIFO: when an upstream
+route-NACK returns already-sent flits to this router (Section 4.2), the
+returned flits are *not* written back into the FIFO (in hardware they remain
+in the retransmission-buffer slots and are muxed back via Figure 3's
+"Transmitter Input" path); they are simply the next flits the pipeline sees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+from repro.noc.flit import Flit
+
+
+class VCBuffer:
+    """FIFO flit buffer for one input virtual channel."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._fifo: Deque[Flit] = deque()
+        self.rollback_queue: Deque[Flit] = deque()
+
+    # -- capacity / occupancy ------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Flits held in the credit-counted FIFO (excludes rollbacks)."""
+        return len(self._fifo)
+
+    @property
+    def total_flits(self) -> int:
+        return len(self._fifo) + len(self.rollback_queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._fifo and not self.rollback_queue
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._fifo)
+
+    # -- FIFO operations -------------------------------------------------
+
+    def push(self, flit: Flit) -> None:
+        if self.is_full:
+            raise OverflowError(
+                "VC buffer overflow: the sender violated credit flow control"
+            )
+        self._fifo.append(flit)
+
+    def peek(self) -> Optional[Flit]:
+        """The flit the pipeline operates on (rollbacks take precedence)."""
+        if self.rollback_queue:
+            return self.rollback_queue[0]
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Flit:
+        """Remove the head flit.
+
+        Returns whether the flit came from the credit-counted FIFO via
+        :meth:`popped_from_fifo` semantics: callers that must release a
+        credit should use :meth:`pop_with_origin` instead.
+        """
+        flit, _ = self.pop_with_origin()
+        return flit
+
+    def pop_with_origin(self) -> "tuple[Flit, bool]":
+        """Pop the head flit; second element is True if it occupied a
+        credit-counted FIFO slot (and a credit must be returned upstream)."""
+        if self.rollback_queue:
+            return self.rollback_queue.popleft(), False
+        if not self._fifo:
+            raise IndexError("pop from empty VC buffer")
+        return self._fifo.popleft(), True
+
+    def push_rollback(self, flits: Iterable[Flit]) -> None:
+        """Prepend returned flits (oldest first) ahead of the FIFO."""
+        returned = list(flits)
+        for flit in reversed(returned):
+            self.rollback_queue.appendleft(flit)
+
+    def clear(self) -> int:
+        """Drop everything (receiver-side flush after a header NACK)."""
+        dropped = self.total_flits
+        self._fifo.clear()
+        self.rollback_queue.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return self.total_flits
+
+    def __iter__(self):
+        yield from self.rollback_queue
+        yield from self._fifo
+
+    def __repr__(self) -> str:
+        return (
+            f"VCBuffer({self.occupancy}/{self.capacity}"
+            + (f" +{len(self.rollback_queue)}rb" if self.rollback_queue else "")
+            + ")"
+        )

@@ -1,0 +1,79 @@
+"""The P x P crossbar.
+
+Functionally the crossbar just moves each granted input's flit to its output
+in one cycle.  What matters for fault tolerance (Section 4.4) is that a
+transient fault *inside* the crossbar produces single-bit upsets on the flit
+in flight — which the per-hop error detection/correction unit then handles —
+rather than misdirecting whole flits (that is a switch-allocator failure
+mode).
+
+Corruption is reported per traversal rather than written into the flit: the
+flit object doubles as the clean retransmission-buffer copy, and in hardware
+the buffer is written from the transmitter register, not from the crossbar
+wires.  Two flits driven onto the same output (an undetected SA duplicate
+grant, possible only with the AC unit disabled) garble each other
+electrically, so both traversals report multi-bit corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.noc.flit import Flit
+from repro.types import Corruption
+
+
+class Crossbar:
+    """A P x P flit crossbar with a corruption hook."""
+
+    def __init__(self, num_ports: int):
+        if num_ports < 1:
+            raise ValueError("crossbar needs at least one port")
+        self.num_ports = num_ports
+        self.traversals = 0
+
+    def traverse(
+        self,
+        moves: List[Tuple[int, int, Flit]],
+        corrupt_hook: Optional[Callable[[Flit], Optional[Corruption]]] = None,
+    ) -> List[Tuple[int, Flit, Corruption]]:
+        """Move flits from input ports to output ports.
+
+        Parameters
+        ----------
+        moves:
+            (input port, output port, flit) triples.  A correct switch
+            allocation has at most one move per input and per output; a
+            multicast fault repeats an input, a duplicate-grant fault
+            repeats an output.
+        corrupt_hook:
+            Optional callable rolling a single-event upset for a flit in
+            flight (returns the corruption class or None).
+
+        Returns
+        -------
+        (output port, flit, corruption) per traversal, where ``corruption``
+        combines collision garbling and hook-injected upsets.
+        """
+        fanin: Dict[int, int] = {}
+        for in_port, out_port, _ in moves:
+            if not 0 <= in_port < self.num_ports:
+                raise ValueError(f"invalid crossbar input port {in_port}")
+            if not 0 <= out_port < self.num_ports:
+                raise ValueError(f"invalid crossbar output port {out_port}")
+            fanin[out_port] = fanin.get(out_port, 0) + 1
+
+        driven: List[Tuple[int, Flit, Corruption]] = []
+        for _, out_port, flit in moves:
+            self.traversals += 1
+            corruption = Corruption.NONE
+            if fanin[out_port] > 1:
+                # Electrical collision: the output wires carry a mix of two
+                # drivers; every involved flit is garbled.
+                corruption = Corruption.MULTI
+            if corrupt_hook is not None:
+                upset = corrupt_hook(flit)
+                if upset is not None and upset.value > corruption.value:
+                    corruption = upset
+            driven.append((out_port, flit, corruption))
+        return driven

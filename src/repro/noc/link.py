@@ -1,0 +1,234 @@
+"""Inter-router links and their reverse/control channels.
+
+A link is unidirectional (each neighboring router pair has one in each
+direction) and carries, with single-cycle latency each way (Section 2.2):
+
+* **forward**: one flit per cycle, tagged with its VC and the per-(link, VC)
+  sequence number the HBH rollback protocol uses;
+* **forward control**: deadlock probes and activation signals — the paper
+  sends these as regular flits through the (empty) retransmission-buffer
+  path of blocked routers, so they are never blocked;
+* **reverse**: credits and NACKs.  These are the "handshaking signals" of
+  Section 4.6, protected by TMR voting per sample.
+
+Local links (NI <-> router) use the same machinery but are exempt from link
+fault injection, like the paper's PE channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+
+from repro.coding.parity import tmr_vote
+from repro.noc.flit import Flit
+from repro.types import Corruption, Direction
+
+T = TypeVar("T")
+
+#: Shared empty result for the (dominant) no-delivery case; callers only
+#: ever iterate the returned list, never mutate it.
+_NOTHING_DUE: List = []
+
+
+class DelayLine(Generic[T]):
+    """A fixed-latency FIFO channel: items pushed at cycle ``t`` become
+    visible to :meth:`pop_due` at cycle ``t + latency``."""
+
+    def __init__(self, latency: int = 1):
+        if latency < 1:
+            raise ValueError("channel latency must be at least one cycle")
+        self.latency = latency
+        self._queue: Deque[Tuple[int, T]] = deque()
+
+    def push(self, cycle: int, item: T) -> None:
+        self._queue.append((cycle + self.latency, item))
+
+    def pop_due(self, cycle: int) -> List[T]:
+        queue = self._queue
+        if not queue or queue[0][0] > cycle:
+            return _NOTHING_DUE
+        due = []
+        while queue and queue[0][0] <= cycle:
+            due.append(queue.popleft()[1])
+        return due
+
+    def peek_pending(self) -> List[T]:
+        """All in-flight items (used by drain checks and tests)."""
+        return [item for _, item in self._queue]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class CreditSignal:
+    """One buffer slot freed at the downstream input VC."""
+
+    vc: int
+
+
+@dataclass
+class NackSignal:
+    """Negative acknowledgement naming the expected sequence number.
+
+    ``kind`` distinguishes the two NACK flavours the paper uses:
+
+    * ``"link"`` — a corrupted flit: roll back and retransmit on the same
+      route (Section 3.1);
+    * ``"route"`` — a misrouted header detected by the receiver
+      (Section 4.2): roll back, *recompute the route*, then retransmit.
+    """
+
+    vc: int
+    seq: int
+    kind: str = "link"
+
+
+@dataclass
+class ProbeSignal:
+    """Deadlock probe / activation signal (Section 3.2.2).
+
+    ``target_vc`` is the VC index of the suspected buffer at the *receiving*
+    router's input port for this link; ``kind`` is ``"probe"`` or
+    ``"activation"``; ``origin`` identifies the Rule-1 sender.
+    """
+
+    origin: int
+    target_vc: int
+    kind: str = "probe"
+    hops: int = 0
+    path: List[int] = field(default_factory=list)
+
+
+@dataclass
+class FlitTransfer:
+    """A flit in flight on a link.
+
+    ``corruption`` is the upset suffered *in transit* (crossbar and/or link);
+    it lives on the transfer rather than the flit so that the clean copy in
+    the sender's retransmission buffer is genuinely clean — in hardware the
+    buffer is written from the transmitter's register, not from the wire.
+    The receiver's check unit applies or discharges it on arrival.
+    """
+
+    vc: int
+    seq: int
+    flit: Flit
+    corruption: Corruption = Corruption.NONE
+
+
+class Link:
+    """One direction of a channel between two routers (or a router and NI)."""
+
+    def __init__(
+        self,
+        src_node: int,
+        src_port: Direction,
+        dst_node: int,
+        dst_port: Direction,
+        is_local: bool = False,
+    ):
+        self.src_node = src_node
+        self.src_port = src_port
+        self.dst_node = dst_node
+        self.dst_port = dst_port
+        self.is_local = is_local
+        self.flits: DelayLine[FlitTransfer] = DelayLine(1)
+        self.credits: DelayLine[CreditSignal] = DelayLine(1)
+        self.nacks: DelayLine[NackSignal] = DelayLine(1)
+        self.control: DelayLine[ProbeSignal] = DelayLine(1)
+        #: Flits sent over the link's lifetime (for utilization/energy).
+        self.flit_traversals = 0
+
+    # -- forward ----------------------------------------------------------
+
+    def send_flit(
+        self,
+        cycle: int,
+        vc: int,
+        seq: int,
+        flit: Flit,
+        corruption: Corruption = Corruption.NONE,
+    ) -> None:
+        flit.link_seq = seq
+        self.flits.push(cycle, FlitTransfer(vc, seq, flit, corruption))
+        self.flit_traversals += 1
+
+    def flit_arrivals(self, cycle: int) -> List[FlitTransfer]:
+        return self.flits.pop_due(cycle)
+
+    def send_probe(self, cycle: int, probe: ProbeSignal) -> None:
+        self.control.push(cycle, probe)
+
+    def probe_arrivals(self, cycle: int) -> List[ProbeSignal]:
+        return self.control.pop_due(cycle)
+
+    # -- reverse ----------------------------------------------------------
+
+    def send_credit(self, cycle: int, vc: int) -> None:
+        self.credits.push(cycle, CreditSignal(vc))
+
+    def credit_arrivals(self, cycle: int) -> List[CreditSignal]:
+        return self.credits.pop_due(cycle)
+
+    def send_nack(self, cycle: int, nack: NackSignal) -> None:
+        self.nacks.push(cycle, nack)
+
+    def nack_arrivals(self, cycle: int) -> List[NackSignal]:
+        return self.nacks.pop_due(cycle)
+
+    @property
+    def is_idle(self) -> bool:
+        return (
+            len(self.flits) == 0
+            and len(self.credits) == 0
+            and len(self.nacks) == 0
+            and len(self.control) == 0
+        )
+
+    def __repr__(self) -> str:
+        kind = "local" if self.is_local else "mesh"
+        return (
+            f"Link({kind} {self.src_node}.{self.src_port.name} -> "
+            f"{self.dst_node}.{self.dst_port.name})"
+        )
+
+
+class HandshakeChannel:
+    """TMR-protected handshake line sampling (Section 4.6).
+
+    Every reverse-channel signal sample passes through here.  With TMR on, a
+    single glitched line is outvoted by the two clean copies, so the signal
+    survives; with TMR off (ablation) a glitch destroys the sample — a lost
+    credit leaks a buffer slot, a lost NACK delays error recovery until the
+    receiver re-NACKs.
+    """
+
+    def __init__(self, tmr_enabled: bool = True):
+        self.tmr_enabled = tmr_enabled
+        self.glitches_masked = 0
+        self.signals_lost = 0
+
+    def sample(self, signal_present: bool, glitch: bool) -> bool:
+        """Deliver one signal sample through the (possibly glitched) lines.
+
+        Returns whether the signal is seen at the receiver.
+        """
+        if not glitch:
+            return signal_present
+        if self.tmr_enabled:
+            # One line flips; the other two carry the true value.
+            voted = tmr_vote([not signal_present, signal_present, signal_present])
+            assert voted == signal_present
+            self.glitches_masked += 1
+            return voted
+        if signal_present:
+            self.signals_lost += 1
+            return False
+        # A glitch on an idle line would fabricate a spurious signal; the
+        # receiver-side sequence filter makes spurious NACKs/credits benign,
+        # and we account them as lost-sample events as well.
+        self.signals_lost += 1
+        return False

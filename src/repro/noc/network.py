@@ -1,0 +1,394 @@
+"""Network assembly: routers, links, network interfaces and the cycle loop.
+
+The :class:`Network` owns one router and one :class:`NetworkInterface` per
+node, the mesh links between routers (one :class:`~repro.noc.link.Link` per
+direction per adjacent pair), and the local injection/ejection links.  Its
+:meth:`Network.step` advances the whole system by one cycle in a fixed
+phase order:
+
+1. NIs process ejections delivered by the previous cycle,
+2. scheduled events fire (E2E retransmission requests / ACKs, modelled as
+   contention-free reverse-path messages with per-hop latency),
+3. routers consume link deliveries (credits, NACKs, probes, flits),
+4. NIs inject (subject to credits on the local link),
+5. routers run their pipelines, pushing onto links for the next cycle,
+6. utilization is sampled.
+
+Because every channel is a 1-cycle delay line, the order of routers within
+a phase cannot change outcomes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.config import SimulationConfig
+from repro.core.schemes import DeliveryAction, destination_policy
+from repro.faults.injector import FaultInjector
+from repro.noc.flit import Flit
+from repro.noc.link import Link
+from repro.noc.packet import Packet, PacketReassembler
+from repro.noc.router import Router
+from repro.noc.routing import make_routing_function
+from repro.noc.topology import MeshTopology
+from repro.stats.collectors import StatsCollector
+from repro.types import Corruption, Direction, LinkProtection, RoutingAlgorithm
+
+
+class NetworkInterface:
+    """The PE-side endpoint: source queue, wormhole serialization onto the
+    local link, destination reassembly and per-scheme delivery policy."""
+
+    def __init__(self, node: int, network: "Network"):
+        self.node = node
+        self.network = network
+        self.config = network.config.noc
+        self.stats = network.stats
+        V = self.config.num_vcs
+        self.pending: Deque[Packet] = deque()
+        self._streams: List[Optional[List[Flit]]] = [None] * V
+        self._credits: List[int] = [self.config.vc_buffer_depth] * V
+        self._next_seq: List[int] = [0] * V
+        self._rr = 0
+        self.reassembler = PacketReassembler()
+        #: E2E source retransmission copies, held until the ACK returns.
+        self.e2e_copies: Dict[int, Packet] = {}
+        self.e2e_copy_high_water = 0
+        self.inj_link: Optional[Link] = None
+        self.ej_link: Optional[Link] = None
+
+    # -- source side -------------------------------------------------------
+
+    def enqueue(self, packet: Packet, priority: bool = False) -> None:
+        if priority:
+            self.pending.appendleft(packet)
+        else:
+            self.pending.append(packet)
+
+    def inject(self, cycle: int) -> None:
+        assert self.inj_link is not None
+        for credit in self.inj_link.credit_arrivals(cycle):
+            self._credits[credit.vc] += 1
+        V = self.config.num_vcs
+        # Continue an in-flight wormhole first (avoids starving packets that
+        # already hold router resources), round-robin across VCs.
+        for offset in range(V):
+            vc = (self._rr + offset) % V
+            stream = self._streams[vc]
+            if stream and self._credits[vc] > 0:
+                self._send_flit(cycle, vc, stream.pop(0))
+                if not stream:
+                    self._streams[vc] = None
+                self._rr = (vc + 1) % V
+                return
+        if not self.pending:
+            return
+        for vc in range(V):
+            if self._streams[vc] is None and self._credits[vc] > 0:
+                packet = self.pending.popleft()
+                if self.config.link_protection is LinkProtection.E2E:
+                    self.e2e_copies[packet.packet_id] = packet
+                    self.e2e_copy_high_water = max(
+                        self.e2e_copy_high_water, len(self.e2e_copies)
+                    )
+                flits = packet.make_flits()
+                checker = self.network.payload_checker
+                if checker is not None:
+                    for flit in flits:
+                        checker.encode_flit(flit)
+                self._send_flit(cycle, vc, flits.pop(0))
+                self._streams[vc] = flits or None
+                return
+
+    def _send_flit(self, cycle: int, vc: int, flit: Flit) -> None:
+        assert self.inj_link is not None
+        self._credits[vc] -= 1
+        seq = self._next_seq[vc]
+        self._next_seq[vc] += 1
+        self.inj_link.send_flit(cycle, vc, seq, flit)
+        self.stats.energy_event("local_link")
+
+    def retransmit(self, packet_id: int) -> None:
+        """E2E: the destination's retransmission request arrived."""
+        packet = self.e2e_copies.get(packet_id)
+        if packet is None:
+            return  # already delivered/ACKed; stale request
+        packet.retransmissions += 1
+        self.enqueue(packet, priority=True)
+
+    def release(self, packet_id: int) -> None:
+        """E2E: the destination's ACK arrived; drop the source copy."""
+        self.e2e_copies.pop(packet_id, None)
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self.pending) + sum(1 for s in self._streams if s)
+
+    # -- destination side ----------------------------------------------------
+
+    def receive(self, cycle: int) -> None:
+        assert self.ej_link is not None
+        for transfer in self.ej_link.flit_arrivals(cycle):
+            flit = transfer.flit
+            corruption = transfer.corruption
+            if corruption is not Corruption.NONE:
+                scheme = self.config.link_protection
+                checker = self.network.payload_checker
+                if scheme in (LinkProtection.HBH, LinkProtection.NONE):
+                    if corruption is Corruption.SINGLE:
+                        self.stats.count("fec_corrections")
+                    else:
+                        if checker is not None:
+                            checker.corrupt_payload(flit, corruption)
+                        flit.corrupt(corruption)
+                else:
+                    if checker is not None:
+                        checker.corrupt_payload(flit, corruption)
+                    flit.corrupt(corruption)
+            complete = self.reassembler.accept(flit, self.config.flits_per_packet)
+            if complete is not None:
+                self._handle_packet(cycle, complete)
+
+    def _handle_packet(self, cycle: int, flits: List[Flit]) -> None:
+        scheme = self.config.link_protection
+        decision = destination_policy(scheme, self.node, flits)
+        head = flits[0]
+        action = decision.action
+
+        if action in (DeliveryAction.DELIVER, DeliveryAction.DELIVER_CORRUPT):
+            checker = self.network.payload_checker
+            if checker is not None:
+                for flit in flits:
+                    # Skip flits whose corruption landed in header fields:
+                    # the dst/src rewrite is the bit-accurate model there.
+                    if flit.dst_error is Corruption.NONE or not flit.is_head:
+                        ok = checker.verify_flit(flit)
+                        self.stats.count("payload_ecc_checks")
+                        if not ok:
+                            self.stats.count("payload_ecc_mismatches")
+            latency = cycle - head.injection_cycle
+            self.stats.record_ejection(latency, head.hops)
+            if action is DeliveryAction.DELIVER_CORRUPT:
+                self.stats.count("packets_delivered_corrupt")
+            self.network.note_delivered()
+            if scheme is LinkProtection.E2E and head.src_error is not Corruption.MULTI:
+                src_ni = self.network.interfaces[head.src]
+                delay = self.network.topology.distance(self.node, head.src)
+                self.network.schedule(
+                    cycle + max(1, delay),
+                    lambda pid=head.packet_id: src_ni.release(pid),
+                )
+        elif action is DeliveryAction.REQUEST_RETRANSMISSION:
+            assert decision.source is not None
+            self.stats.count("e2e_retransmissions")
+            src_ni = self.network.interfaces[decision.source]
+            delay = self.network.topology.distance(self.node, decision.source)
+            self.network.schedule(
+                cycle + max(1, delay),
+                lambda pid=head.packet_id: src_ni.retransmit(pid),
+            )
+        elif action is DeliveryAction.FORWARD_TO_TRUE_DST:
+            assert decision.destination is not None
+            self.stats.count("packets_misrouted")
+            self.stats.count("packets_reforwarded")
+            onward = Packet(
+                packet_id=head.packet_id,
+                src=self.node,
+                dst=decision.destination,
+                num_flits=self.config.flits_per_packet,
+                injection_cycle=head.injection_cycle,
+                payload=head.payload,
+            )
+            self.enqueue(onward, priority=True)
+        elif action is DeliveryAction.LOST:
+            self.stats.count("packets_lost")
+            self.network.note_lost()
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(f"unhandled delivery action {action}")
+
+
+class Network:
+    """The complete simulated system for one configuration."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        noc = config.noc
+        if noc.topology == "torus":
+            from repro.noc.topology import TorusTopology
+
+            self.topology: MeshTopology = TorusTopology(noc.width, noc.height)
+        else:
+            self.topology = MeshTopology(noc.width, noc.height)
+        self.stats = StatsCollector()
+        self.injector = FaultInjector(config.faults)
+        if noc.topology == "torus" and noc.routing is RoutingAlgorithm.XY:
+            # Mesh XY ignores wrap links; use the wrap-aware variant.
+            from repro.noc.routing import TorusXYRouting
+
+            routing_fn = TorusXYRouting()
+        else:
+            routing_fn = make_routing_function(noc.routing)
+        self.payload_checker = None
+        if config.payload_ecc_check:
+            from repro.coding.payload_check import PayloadChecker
+
+            self.payload_checker = PayloadChecker()
+
+        self.routers: List[Router] = [
+            Router(
+                node,
+                noc,
+                self.topology,
+                routing_fn,
+                self.injector,
+                self.stats,
+                payload_checker=self.payload_checker,
+            )
+            for node in self.topology.nodes()
+        ]
+        self.interfaces: List[NetworkInterface] = [
+            NetworkInterface(node, self) for node in self.topology.nodes()
+        ]
+        self.links: List[Link] = []
+        self._wire_mesh()
+        self._wire_local()
+
+        self.cycle = 0
+        self.delivered = 0
+        self.lost = 0
+        self._events: List[Tuple[int, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self._send_history: Deque[int] = deque(
+            [0] * noc.retx_buffer_depth, maxlen=noc.retx_buffer_depth
+        )
+        self._retx_capacity = sum(r.retx_capacity for r in self.routers)
+        self._tx_capacity = sum(r.buffer_capacity for r in self.routers)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _wire_mesh(self) -> None:
+        for node in self.topology.nodes():
+            for direction in self.topology.connected_directions(node):
+                neighbor = self.topology.neighbor(node, direction)
+                assert neighbor is not None
+                link = Link(node, direction, neighbor, direction.opposite)
+                self.links.append(link)
+                self.routers[node].attach_output_link(int(direction), link)
+                self.routers[neighbor].attach_input_link(
+                    int(direction.opposite), link
+                )
+
+    def _wire_local(self) -> None:
+        local = Direction.LOCAL
+        for node in self.topology.nodes():
+            inj = Link(node, local, node, local, is_local=True)
+            ej = Link(node, local, node, local, is_local=True)
+            self.links.extend((inj, ej))
+            self.interfaces[node].inj_link = inj
+            self.routers[node].attach_input_link(int(local), inj)
+            self.routers[node].attach_output_link(int(local), ej)
+            self.interfaces[node].ej_link = ej
+
+    # -- event scheduling (contention-free reverse-path messages) -------------
+
+    def schedule(self, cycle: int, action: Callable[[], None]) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (cycle, self._event_seq, action))
+
+    def _run_due_events(self) -> None:
+        while self._events and self._events[0][0] <= self.cycle:
+            _, _, action = heapq.heappop(self._events)
+            action()
+
+    # -- delivery accounting ----------------------------------------------------
+
+    def note_delivered(self) -> None:
+        self.delivered += 1
+
+    def note_lost(self) -> None:
+        self.lost += 1
+
+    @property
+    def completed(self) -> int:
+        """Messages that reached a final outcome (delivered or lost)."""
+        return self.delivered + self.lost
+
+    # -- the cycle loop ---------------------------------------------------------
+
+    def step(self) -> None:
+        cycle = self.cycle
+        for ni in self.interfaces:
+            ni.receive(cycle)
+        self._run_due_events()
+        for router in self.routers:
+            router.receive(cycle)
+        for ni in self.interfaces:
+            ni.inject(cycle)
+        sends = 0
+        for router in self.routers:
+            sends += router.compute(cycle)
+        self._send_history.append(sends)
+        if self.config.collect_utilization:
+            self._sample_utilization()
+        self.stats.cycles += 1
+        self.cycle += 1
+
+    def _sample_utilization(self) -> None:
+        tx_occupied = sum(r.buffered_flits for r in self.routers)
+        # A retransmission-buffer slot is live for the replay window after a
+        # send (the barrel shifter holds the flit until a NACK can no longer
+        # arrive) plus any replay/absorption occupancy.
+        retx_occupied = sum(self._send_history) + sum(
+            r.retx_pending_flits for r in self.routers
+        )
+        self.stats.record_utilization(
+            tx_occupied,
+            self._tx_capacity,
+            min(retx_occupied, self._retx_capacity),
+            self._retx_capacity,
+        )
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance a fixed number of cycles (tests and scripted scenarios)."""
+        for _ in range(cycles):
+            self.step()
+
+    def finalize_stats(self) -> None:
+        """Fold per-router controller/handshake counters into the collector.
+
+        Idempotent; called once when a result is built.
+        """
+        if getattr(self, "_stats_finalized", False):
+            return
+        self._stats_finalized = True
+        probes_sent = probes_discarded = 0
+        masked = lost_signals = 0
+        for router in self.routers:
+            if router.deadlock is not None:
+                probes_sent += router.deadlock.probes_sent
+                probes_discarded += router.deadlock.probes_discarded
+            masked += router.handshake.glitches_masked
+            lost_signals += router.handshake.signals_lost
+        if probes_sent:
+            self.stats.count("probes_sent", probes_sent)
+        if probes_discarded:
+            self.stats.count("probes_discarded", probes_discarded)
+        if masked:
+            self.stats.count("handshake_glitches_masked", masked)
+        if lost_signals:
+            self.stats.count("handshake_signals_lost", lost_signals)
+
+    @property
+    def in_flight_flits(self) -> int:
+        buffered = sum(r.buffered_flits for r in self.routers)
+        on_links = sum(len(link.flits) for link in self.links)
+        pending_out = sum(r.retx_pending_flits for r in self.routers)
+        return buffered + on_links + pending_out
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({self.topology.width}x{self.topology.height}, "
+            f"cycle={self.cycle}, delivered={self.delivered})"
+        )

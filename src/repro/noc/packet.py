@@ -1,0 +1,112 @@
+"""Packets (messages) and destination-side reassembly.
+
+The paper uses "message" and "packet" interchangeably: one message is one
+packet of ``flits_per_packet`` flits (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.noc.flit import Flit
+from repro.types import Corruption, Direction, FlitType
+
+
+@dataclass
+class Packet:
+    """A message descriptor held by network interfaces.
+
+    The source NI keeps one of these per injected packet; in the E2E scheme
+    it doubles as the source retransmission copy.
+    """
+
+    packet_id: int
+    src: int
+    dst: int
+    num_flits: int
+    injection_cycle: int
+    source_route: Optional[List[Direction]] = None
+    payload: int = 0
+    retransmissions: int = 0
+
+    def make_flits(self, injection_cycle: Optional[int] = None) -> List[Flit]:
+        """Materialize the packet's flits (used for each (re)transmission)."""
+        cycle = self.injection_cycle if injection_cycle is None else injection_cycle
+        flits = []
+        for seq in range(self.num_flits):
+            if self.num_flits == 1:
+                ftype = FlitType.HEAD_TAIL
+            elif seq == 0:
+                ftype = FlitType.HEAD
+            elif seq == self.num_flits - 1:
+                ftype = FlitType.TAIL
+            else:
+                ftype = FlitType.BODY
+            route = list(self.source_route) if self.source_route else None
+            flits.append(
+                Flit(
+                    self.packet_id,
+                    seq,
+                    ftype,
+                    self.src,
+                    self.dst,
+                    injection_cycle=cycle,
+                    payload=self.payload,
+                    source_route=route,
+                )
+            )
+        return flits
+
+
+@dataclass
+class _Assembly:
+    flits: Dict[int, Flit] = field(default_factory=dict)
+    expected: Optional[int] = None
+
+
+class PacketReassembler:
+    """Collects arriving flits at a destination NI into whole packets.
+
+    Completion is *tail-based*, as in real wormhole hardware: a packet is
+    complete once its tail flit and every flit before it have arrived.
+    (``num_flits`` is kept as an advisory hint only; keying completion on a
+    configured length would silently strand packets shorter than the
+    platform default.)
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, _Assembly] = {}
+
+    def accept(self, flit: Flit, num_flits: Optional[int] = None) -> Optional[List[Flit]]:
+        asm = self._pending.setdefault(flit.packet_id, _Assembly())
+        asm.flits[flit.seq] = flit
+        asm.expected = num_flits
+        tail_seq = None
+        for seq, held in asm.flits.items():
+            if held.is_tail:
+                tail_seq = seq
+                break
+        if tail_seq is not None and all(
+            seq in asm.flits for seq in range(tail_seq + 1)
+        ):
+            del self._pending[flit.packet_id]
+            return [asm.flits[i] for i in range(tail_seq + 1)]
+        return None
+
+    def drop(self, packet_id: int) -> int:
+        """Discard a partially assembled packet; returns flits discarded."""
+        asm = self._pending.pop(packet_id, None)
+        return len(asm.flits) if asm else 0
+
+    @property
+    def incomplete_packets(self) -> int:
+        return len(self._pending)
+
+    def incomplete_ids(self) -> List[int]:
+        return list(self._pending)
+
+
+def packet_is_corrupted(flits: List[Flit]) -> bool:
+    """Destination-side integrity check (what a packet CRC would report)."""
+    return any(f.corruption is not Corruption.NONE for f in flits)

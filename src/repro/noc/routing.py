@@ -1,0 +1,183 @@
+"""Routing functions (the RT unit) and the XY turn-legality check.
+
+The paper's two evaluated algorithms are deterministic XY ("DT") and a
+minimal adaptive algorithm ("AD"); we implement west-first as the adaptive
+algorithm because it is deadlock-free on a mesh, plus a *fully* adaptive
+minimal function (which can deadlock and therefore exercises the deadlock
+recovery scheme) and source routing for scripted scenarios.
+
+A routing function returns the set of *candidate output directions*; the VA
+then tries all VCs of those directions ("here we assume that the routing
+function returns all VCs of a single PC", Figure 12 — XY returns one
+direction; the adaptive functions may return two).
+
+:func:`xy_arrival_is_legal` is the receiving-router check of Section 4.2: a
+misdirected header is detected behaviourally because its arrival violates an
+invariant of minimal XY (no reversals, never X-movement needed after
+travelling in Y).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from repro.noc.flit import Flit
+from repro.noc.topology import MeshTopology
+from repro.types import Direction, RoutingAlgorithm
+
+
+class RoutingFunction(Protocol):
+    """Computes candidate output directions for a header flit."""
+
+    def candidates(
+        self, topology: MeshTopology, current: int, flit: Flit
+    ) -> List[Direction]:
+        """Candidate output directions (LOCAL means eject here)."""
+        ...
+
+
+class XYRouting:
+    """Dimension-ordered routing: correct X first, then Y (deterministic)."""
+
+    def candidates(
+        self, topology: MeshTopology, current: int, flit: Flit
+    ) -> List[Direction]:
+        if current == flit.dst:
+            return [Direction.LOCAL]
+        a = topology.coordinates_of(current)
+        b = topology.coordinates_of(flit.dst)
+        if b.x > a.x:
+            return [Direction.EAST]
+        if b.x < a.x:
+            return [Direction.WEST]
+        if b.y > a.y:
+            return [Direction.NORTH]
+        return [Direction.SOUTH]
+
+
+class TorusXYRouting:
+    """Wrap-aware dimension-ordered routing for tori.
+
+    Routes the X dimension first using the minimal wrap direction, then Y.
+    Unlike mesh XY this is *not* deadlock-free: the wraparound links close
+    cyclic channel dependencies, which is exactly why torus networks use
+    dateline VC classes — or, here, the paper's deadlock recovery scheme.
+    """
+
+    def candidates(
+        self, topology: MeshTopology, current: int, flit: Flit
+    ) -> List[Direction]:
+        if current == flit.dst:
+            return [Direction.LOCAL]
+        minimal = topology.minimal_directions(current, flit.dst)
+        for d in (Direction.EAST, Direction.WEST):
+            if d in minimal:
+                return [d]
+        for d in (Direction.NORTH, Direction.SOUTH):
+            if d in minimal:
+                return [d]
+        return [Direction.LOCAL]  # unreachable for a valid destination
+
+
+class WestFirstRouting:
+    """Minimal adaptive west-first turn-model routing (deadlock-free).
+
+    If the destination lies to the west, the packet must travel west first
+    (no turns into west are ever allowed); otherwise any minimal direction
+    among {E, N, S} may be chosen adaptively.
+    """
+
+    def candidates(
+        self, topology: MeshTopology, current: int, flit: Flit
+    ) -> List[Direction]:
+        if current == flit.dst:
+            return [Direction.LOCAL]
+        minimal = topology.minimal_directions(current, flit.dst)
+        if Direction.WEST in minimal:
+            return [Direction.WEST]
+        return minimal
+
+
+class FullyAdaptiveRouting:
+    """Minimal fully-adaptive routing with **no** escape channels.
+
+    All minimal directions are candidates; cyclic channel dependencies are
+    possible, so networks using this function rely on the paper's deadlock
+    recovery scheme (Section 3.2) for forward progress.
+    """
+
+    def candidates(
+        self, topology: MeshTopology, current: int, flit: Flit
+    ) -> List[Direction]:
+        if current == flit.dst:
+            return [Direction.LOCAL]
+        return topology.minimal_directions(current, flit.dst)
+
+
+class SourceRouting:
+    """Routes are attached to packets by the injector.
+
+    Each header flit carries the remaining direction list; the RT unit pops
+    one entry per hop.  Used to script deterministic scenarios such as the
+    Figure 10/11 deadlock configurations.
+    """
+
+    def candidates(
+        self, topology: MeshTopology, current: int, flit: Flit
+    ) -> List[Direction]:
+        route = flit.source_route
+        if not route:
+            return [Direction.LOCAL]
+        return [route[0]]
+
+    @staticmethod
+    def consume_hop(flit: Flit) -> None:
+        """Advance the source route after the header wins VA."""
+        if flit.source_route:
+            flit.source_route.pop(0)
+
+
+def make_routing_function(algorithm: RoutingAlgorithm) -> RoutingFunction:
+    """Factory mapping the config enum to a routing function instance."""
+    if algorithm is RoutingAlgorithm.XY:
+        return XYRouting()
+    if algorithm is RoutingAlgorithm.WEST_FIRST:
+        return WestFirstRouting()
+    if algorithm is RoutingAlgorithm.FULLY_ADAPTIVE:
+        return FullyAdaptiveRouting()
+    if algorithm is RoutingAlgorithm.SOURCE:
+        return SourceRouting()
+    raise ValueError(f"unknown routing algorithm: {algorithm}")
+
+
+def xy_arrival_is_legal(
+    topology: MeshTopology,
+    current: int,
+    arrival_port: Optional[Direction],
+    dst: int,
+) -> bool:
+    """Receiving-router misroute detection for deterministic XY routing.
+
+    Under fault-free XY a packet (a) never reverses direction and (b) never
+    needs X movement after travelling in Y.  A header whose arrival violates
+    either invariant was misdirected by the previous router's RT unit
+    (Section 4.2); the receiver NACKs it back.
+
+    ``arrival_port`` is the input port the header arrived on (None or LOCAL
+    for freshly injected packets, which are always legal).
+    """
+    if arrival_port is None or arrival_port is Direction.LOCAL:
+        return True
+    if current == dst:
+        return True
+    minimal = topology.minimal_directions(current, dst)
+    # Reversal: the packet would have to exit through the port it came in.
+    if arrival_port in minimal:
+        return False
+    # Y-then-X: arrived travelling vertically but still needs X correction.
+    if arrival_port in (Direction.NORTH, Direction.SOUTH):
+        a = topology.coordinates_of(current)
+        b = topology.coordinates_of(dst)
+        if a.x != b.x:
+            return False
+    return True

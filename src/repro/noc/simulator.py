@@ -1,0 +1,169 @@
+"""The simulation driver.
+
+Reproduces the paper's methodology (Section 2.2): traffic is injected at a
+configured rate until a target number of messages has been ejected, the
+first ``warmup_messages`` ejections are excluded from measurement, and the
+run reports average message latency, energy per message and the error/
+recovery counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import SimulationConfig
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.power.energy import EnergyModel
+from repro.traffic.injection import InjectionProcess, PeriodicInjection
+from repro.traffic.patterns import TrafficPattern, make_traffic_pattern
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, in experiment-friendly form."""
+
+    config: SimulationConfig
+    cycles: int
+    packets_injected: int
+    packets_delivered: int
+    packets_lost: int
+    measured_packets: int
+    avg_latency: float
+    avg_hops: float
+    energy_per_packet_nj: float
+    tx_buffer_utilization: float
+    retx_buffer_utilization: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    energy_events: Dict[str, int] = field(default_factory=dict)
+    hit_cycle_limit: bool = False
+
+    @property
+    def throughput_flits_per_node_cycle(self) -> float:
+        """Accepted traffic over the whole run (delivered flits rate)."""
+        if self.cycles == 0:
+            return 0.0
+        flits = self.packets_delivered * self.config.noc.flits_per_packet
+        return flits / (self.cycles * self.config.noc.num_nodes)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def summary_lines(self) -> str:
+        lines = [
+            f"cycles                 {self.cycles}",
+            f"packets injected       {self.packets_injected}",
+            f"packets delivered      {self.packets_delivered}",
+            f"packets lost           {self.packets_lost}",
+            f"avg latency (cycles)   {self.avg_latency:.2f}",
+            f"avg hops               {self.avg_hops:.2f}",
+            f"energy/packet (nJ)     {self.energy_per_packet_nj:.4f}",
+        ]
+        return "\n".join(lines)
+
+
+class Simulator:
+    """Drives a :class:`Network` with generated traffic to completion."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        pattern: Optional[TrafficPattern] = None,
+        injection: Optional[InjectionProcess] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ):
+        self.config = config
+        self.network = Network(config)
+        self.rng = random.Random(config.workload.seed)
+        self.pattern = pattern or make_traffic_pattern(
+            config.workload.pattern, self.network.topology
+        )
+        self.injection = injection or PeriodicInjection(
+            config.noc.num_nodes,
+            config.workload.injection_rate,
+            config.noc.flits_per_packet,
+        )
+        self.energy_model = energy_model or EnergyModel()
+        self._next_packet_id = 0
+
+    # -- traffic generation -----------------------------------------------------
+
+    def _generate_traffic(self, cycle: int) -> None:
+        for node in range(self.config.noc.num_nodes):
+            if not self.injection.fires(node, cycle, self.rng):
+                continue
+            dst = self.pattern.destination(node, self.rng)
+            if dst is None:
+                continue
+            packet = Packet(
+                packet_id=self._next_packet_id,
+                src=node,
+                dst=dst,
+                num_flits=self.config.noc.flits_per_packet,
+                injection_cycle=cycle,
+            )
+            self._next_packet_id += 1
+            self.network.interfaces[node].enqueue(packet)
+            self.network.stats.packets_injected += 1
+
+    # -- the run loop --------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        workload = self.config.workload
+        stats = self.network.stats
+        measuring = False
+        hit_limit = False
+        while self.network.completed < workload.num_messages:
+            if self.network.cycle >= workload.max_cycles:
+                hit_limit = True
+                break
+            self._generate_traffic(self.network.cycle)
+            if not measuring and self.network.completed >= workload.warmup_messages:
+                stats.start_measurement()
+                measuring = True
+            self.network.step()
+        return self._build_result(hit_limit)
+
+    def run_cycles(self, cycles: int, measure_from: int = 0) -> SimulationResult:
+        """Run a fixed number of cycles (open-loop experiments)."""
+        stats = self.network.stats
+        for i in range(cycles):
+            if i == measure_from:
+                stats.start_measurement()
+            self._generate_traffic(self.network.cycle)
+            self.network.step()
+        return self._build_result(False)
+
+    def _build_result(self, hit_limit: bool) -> SimulationResult:
+        self.network.finalize_stats()
+        stats = self.network.stats
+        energy_events = dict(stats.energy_events)
+        if self.config.collect_power and stats.measured_packets:
+            energy = self.energy_model.energy_per_packet_nj(
+                energy_events, stats.measured_packets
+            )
+        else:
+            energy = 0.0
+        return SimulationResult(
+            config=self.config,
+            cycles=stats.cycles,
+            packets_injected=stats.packets_injected,
+            packets_delivered=self.network.delivered,
+            packets_lost=self.network.lost,
+            measured_packets=stats.measured_packets,
+            avg_latency=stats.latency.mean,
+            avg_hops=stats.hops.mean,
+            energy_per_packet_nj=energy,
+            tx_buffer_utilization=stats.tx_utilization.utilization,
+            retx_buffer_utilization=stats.retx_utilization.utilization,
+            counters=dict(stats.counters),
+            energy_events=energy_events,
+            hit_cycle_limit=hit_limit,
+        )
+
+
+def run_simulation(config: SimulationConfig, **kwargs) -> SimulationResult:
+    """One-call convenience wrapper used by examples and benchmarks."""
+    return Simulator(config, **kwargs).run()

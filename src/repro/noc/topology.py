@@ -1,0 +1,154 @@
+"""Mesh and torus topologies.
+
+The paper evaluates an 8x8 MESH (Section 2.2); the torus is provided as the
+natural extension (the tornado traffic pattern of [19] originates there) and
+for ablation studies.
+
+A topology answers purely structural questions: node-id/coordinate mapping,
+which ports are connected, and who the neighbor on a port is.  It owns no
+simulation state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.types import Coordinate, Direction
+
+
+class MeshTopology:
+    """A ``width`` x ``height`` 2-D mesh.
+
+    Node ids are row-major: ``node = y * width + x``; x grows EAST and y
+    grows NORTH, matching :attr:`repro.types.Direction.delta`.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coordinates_of(self, node: int) -> Coordinate:
+        self._check_node(node)
+        return Coordinate(node % self.width, node // self.width)
+
+    def node_at(self, coord: Coordinate) -> int:
+        if not self.contains(coord):
+            raise ValueError(f"{coord} outside {self.width}x{self.height} mesh")
+        return coord.y * self.width + coord.x
+
+    def contains(self, coord: Coordinate) -> bool:
+        return 0 <= coord.x < self.width and 0 <= coord.y < self.height
+
+    def neighbor(self, node: int, direction: Direction) -> Optional[int]:
+        """Neighbor node on ``direction``, or None at a mesh edge.
+
+        LOCAL has no neighbor router (it connects to the PE).
+        """
+        if direction is Direction.LOCAL:
+            return None
+        coord = self.coordinates_of(node) + direction.delta
+        return self.node_at(coord) if self.contains(coord) else None
+
+    def connected_directions(self, node: int) -> List[Direction]:
+        """Inter-router directions that have a link at ``node``."""
+        return [
+            d
+            for d in (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
+            if self.neighbor(node, d) is not None
+        ]
+
+    def edge_directions(self, node: int) -> List[Direction]:
+        """Directions that fall off the mesh at ``node`` (no link)."""
+        return [
+            d
+            for d in (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
+            if self.neighbor(node, d) is None
+        ]
+
+    def distance(self, a: int, b: int) -> int:
+        """Minimal hop count between two nodes."""
+        return self.coordinates_of(a).manhattan_distance(self.coordinates_of(b))
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def minimal_directions(self, src: int, dst: int) -> List[Direction]:
+        """All directions that reduce the distance to ``dst`` from ``src``."""
+        if src == dst:
+            return []
+        a = self.coordinates_of(src)
+        b = self.coordinates_of(dst)
+        dirs = []
+        if b.x > a.x:
+            dirs.append(Direction.EAST)
+        elif b.x < a.x:
+            dirs.append(Direction.WEST)
+        if b.y > a.y:
+            dirs.append(Direction.NORTH)
+        elif b.y < a.y:
+            dirs.append(Direction.SOUTH)
+        return dirs
+
+    def average_minimal_hops(self) -> float:
+        """Mean minimal distance over all ordered src != dst pairs.
+
+        Used by experiments to sanity-check latency floors.
+        """
+        total = 0
+        pairs = 0
+        for a in self.nodes():
+            for b in self.nodes():
+                if a != b:
+                    total += self.distance(a, b)
+                    pairs += 1
+        return total / pairs if pairs else 0.0
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside 0..{self.num_nodes - 1}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.width}x{self.height})"
+
+
+class TorusTopology(MeshTopology):
+    """A 2-D torus: the mesh with wraparound links."""
+
+    def neighbor(self, node: int, direction: Direction) -> Optional[int]:
+        if direction is Direction.LOCAL:
+            return None
+        coord = self.coordinates_of(node) + direction.delta
+        wrapped = Coordinate(coord.x % self.width, coord.y % self.height)
+        return self.node_at(wrapped)
+
+    def distance(self, a: int, b: int) -> int:
+        ca, cb = self.coordinates_of(a), self.coordinates_of(b)
+        dx = abs(ca.x - cb.x)
+        dy = abs(ca.y - cb.y)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def minimal_directions(self, src: int, dst: int) -> List[Direction]:
+        if src == dst:
+            return []
+        a = self.coordinates_of(src)
+        b = self.coordinates_of(dst)
+        dirs = []
+        dx = (b.x - a.x) % self.width
+        if dx:
+            if dx <= self.width - dx:
+                dirs.append(Direction.EAST)
+            if dx >= self.width - dx:
+                dirs.append(Direction.WEST)
+        dy = (b.y - a.y) % self.height
+        if dy:
+            if dy <= self.height - dy:
+                dirs.append(Direction.NORTH)
+            if dy >= self.height - dy:
+                dirs.append(Direction.SOUTH)
+        return dirs

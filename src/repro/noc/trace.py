@@ -1,0 +1,136 @@
+"""Non-invasive packet tracing.
+
+A :class:`PacketTracer` snapshots, each cycle, where the flits of watched
+packets are — input VC buffers, link pipelines, replay/absorption queues or
+source queues — by scanning the network state.  Because it only *reads*,
+it adds zero overhead when unused and cannot perturb simulation outcomes.
+
+Intended for debugging and for the ``examples/trace_packet.py`` walkthrough
+of a flit's journey (including retransmission events, which show up as a
+flit re-appearing on a link it already crossed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.noc.network import Network
+from repro.types import Direction
+
+
+@dataclass(frozen=True)
+class FlitSighting:
+    """One watched flit observed at one location in one cycle."""
+
+    cycle: int
+    packet_id: int
+    flit_seq: int
+    location: str  # human-readable, stable format (see _scan)
+
+    def __str__(self) -> str:
+        return f"[{self.cycle:>5}] p{self.packet_id}.{self.flit_seq} @ {self.location}"
+
+
+@dataclass
+class PacketTrace:
+    """All sightings of one packet, in cycle order."""
+
+    packet_id: int
+    sightings: List[FlitSighting] = field(default_factory=list)
+
+    def journey(self, flit_seq: int) -> List[FlitSighting]:
+        return [s for s in self.sightings if s.flit_seq == flit_seq]
+
+    def locations_visited(self) -> List[str]:
+        seen: List[str] = []
+        for s in self.sightings:
+            if not seen or seen[-1] != s.location:
+                seen.append(s.location)
+        return seen
+
+    def link_crossings(self, flit_seq: int) -> int:
+        """Times the flit was observed in flight on an inter-router link;
+        a count above its hop count means it was retransmitted."""
+        return sum(
+            1
+            for s in self.journey(flit_seq)
+            if s.location.startswith("link ") and "LOCAL" not in s.location
+        )
+
+
+class PacketTracer:
+    """Scans a network each cycle for the flits of watched packets."""
+
+    def __init__(self, network: Network, watch: Iterable[int]):
+        self.network = network
+        self.watch: Set[int] = set(watch)
+        self.traces: Dict[int, PacketTrace] = {
+            pid: PacketTrace(pid) for pid in self.watch
+        }
+
+    def step_and_observe(self) -> None:
+        """Advance the network one cycle, then record sightings."""
+        self.network.step()
+        self.observe()
+
+    def observe(self) -> None:
+        cycle = self.network.cycle
+        for packet_id, flit_seq, location in self._scan():
+            if packet_id in self.watch:
+                self.traces[packet_id].sightings.append(
+                    FlitSighting(cycle, packet_id, flit_seq, location)
+                )
+
+    def _scan(self):
+        net = self.network
+        for router in net.routers:
+            node = router.node
+            for port_vcs in router.inputs:
+                for ivc in port_vcs:
+                    for flit in ivc.buffer:
+                        yield (
+                            flit.packet_id,
+                            flit.seq,
+                            f"router {node} in[{Direction(ivc.port).name}].vc{ivc.vc}",
+                        )
+            for port, channels in enumerate(router.outputs):
+                for channel in channels:
+                    for _, flit in channel.replay_queue:
+                        yield (
+                            flit.packet_id,
+                            flit.seq,
+                            f"router {node} replay[{Direction(port).name}].vc{channel.vc}",
+                        )
+                    for flit in channel.absorption_queue:
+                        yield (
+                            flit.packet_id,
+                            flit.seq,
+                            f"router {node} retxbuf[{Direction(port).name}].vc{channel.vc}",
+                        )
+        for link in net.links:
+            kind = "LOCAL" if link.is_local else "mesh"
+            for transfer in link.flits.peek_pending():
+                yield (
+                    transfer.flit.packet_id,
+                    transfer.flit.seq,
+                    f"link {link.src_node}.{link.src_port.name}->"
+                    f"{link.dst_node} ({kind})",
+                )
+        for ni in net.interfaces:
+            for packet in ni.pending:
+                yield (packet.packet_id, 0, f"NI {ni.node} source queue")
+
+    def trace(self, packet_id: int) -> PacketTrace:
+        return self.traces[packet_id]
+
+    def run_until_delivered(
+        self, expected: int, max_cycles: int = 10_000
+    ) -> Optional[int]:
+        """Drive the network (observing each cycle) until ``expected``
+        packets complete; returns the cycle, or None on timeout."""
+        for _ in range(max_cycles):
+            if self.network.completed >= expected:
+                return self.network.cycle
+            self.step_and_observe()
+        return None

@@ -1,0 +1,20 @@
+"""Power and area modelling.
+
+The paper synthesized its router in TSMC 90 nm (Synopsys DC, 1 V, 500 MHz)
+and imported the numbers into the network simulator (Section 2.2).  We
+cannot run synthesis, so :mod:`repro.power.area` provides a structural
+gate-inventory model calibrated to the paper's published totals (Table 1),
+and :mod:`repro.power.energy` provides the per-operation energy model the
+simulator's event counters feed (Figures 7 and 13b).
+"""
+
+from repro.power.area import AreaModel, GateInventory, router_inventory, ac_unit_inventory
+from repro.power.energy import EnergyModel
+
+__all__ = [
+    "AreaModel",
+    "EnergyModel",
+    "GateInventory",
+    "ac_unit_inventory",
+    "router_inventory",
+]

@@ -1,0 +1,11 @@
+"""Terminal reporting: ASCII charts and result tables.
+
+The experiment modules print the raw series a paper figure plots; this
+package renders them as charts directly in the terminal, so the figure
+*shapes* (the actual reproduction targets) are visible without a plotting
+stack.
+"""
+
+from repro.report.charts import AsciiChart, render_comparison_table, render_series
+
+__all__ = ["AsciiChart", "render_comparison_table", "render_series"]

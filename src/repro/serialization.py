@@ -1,0 +1,98 @@
+"""Config and result (de)serialization.
+
+Round-trippable dict/JSON forms for :class:`repro.config.SimulationConfig`
+and :class:`repro.noc.simulator.SimulationResult`, so experiment campaigns
+can be scripted, archived and diffed (`python -m repro run --json` uses
+this, as do downstream analysis notebooks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.config import (
+    FaultConfig,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.noc.simulator import SimulationResult
+from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
+
+
+def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
+    """A JSON-safe dict capturing every field of a simulation config."""
+    noc = dataclasses.asdict(config.noc)
+    noc["routing"] = config.noc.routing.value
+    noc["link_protection"] = config.noc.link_protection.value
+    faults = {
+        "rates": {site.value: rate for site, rate in config.faults.rates.items()},
+        "link_multi_bit_fraction": config.faults.link_multi_bit_fraction,
+        "seed": config.faults.seed,
+    }
+    return {
+        "noc": noc,
+        "faults": faults,
+        "workload": dataclasses.asdict(config.workload),
+        "collect_power": config.collect_power,
+        "collect_utilization": config.collect_utilization,
+        "payload_ecc_check": config.payload_ecc_check,
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
+    """Inverse of :func:`config_to_dict`."""
+    noc_data = dict(data["noc"])
+    noc_data["routing"] = RoutingAlgorithm(noc_data["routing"])
+    noc_data["link_protection"] = LinkProtection(noc_data["link_protection"])
+    faults_data = data["faults"]
+    faults = FaultConfig(
+        rates={
+            FaultSite(name): rate for name, rate in faults_data["rates"].items()
+        },
+        link_multi_bit_fraction=faults_data["link_multi_bit_fraction"],
+        seed=faults_data["seed"],
+    )
+    return SimulationConfig(
+        noc=NoCConfig(**noc_data),
+        faults=faults,
+        workload=WorkloadConfig(**data["workload"]),
+        collect_power=data.get("collect_power", True),
+        collect_utilization=data.get("collect_utilization", False),
+        payload_ecc_check=data.get("payload_ecc_check", False),
+    )
+
+
+def config_to_json(config: SimulationConfig, indent: int = 2) -> str:
+    return json.dumps(config_to_dict(config), indent=indent, sort_keys=True)
+
+
+def config_from_json(text: str) -> SimulationConfig:
+    return config_from_dict(json.loads(text))
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """A JSON-safe dict of a run's outcome, config included."""
+    return {
+        "config": config_to_dict(result.config),
+        "cycles": result.cycles,
+        "packets_injected": result.packets_injected,
+        "packets_delivered": result.packets_delivered,
+        "packets_lost": result.packets_lost,
+        "measured_packets": result.measured_packets,
+        "avg_latency": result.avg_latency,
+        "avg_hops": result.avg_hops,
+        "energy_per_packet_nj": result.energy_per_packet_nj,
+        "throughput_flits_per_node_cycle": result.throughput_flits_per_node_cycle,
+        "tx_buffer_utilization": result.tx_buffer_utilization,
+        "retx_buffer_utilization": result.retx_buffer_utilization,
+        "hit_cycle_limit": result.hit_cycle_limit,
+        "counters": dict(result.counters),
+        "energy_events": dict(result.energy_events),
+    }
+
+
+def result_to_json(result: SimulationResult, indent: int = 2) -> str:
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)

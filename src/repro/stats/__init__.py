@@ -1,0 +1,5 @@
+"""Measurement: counters, latency/energy accounting and buffer utilization."""
+
+from repro.stats.collectors import LatencyStats, StatsCollector, UtilizationTracker
+
+__all__ = ["LatencyStats", "StatsCollector", "UtilizationTracker"]

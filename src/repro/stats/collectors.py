@@ -1,0 +1,172 @@
+"""Statistics collection.
+
+One :class:`StatsCollector` serves a whole simulation.  It distinguishes the
+warm-up window from the measurement window the same way the paper does
+(Section 2.2: latency and energy are averaged over ejected messages after
+the warm-up messages): latency samples, energy events and utilization
+samples recorded during warm-up are excluded from the reported averages.
+
+Counters are plain named integers; the counter names used across the
+code base are documented here so experiments can rely on them:
+
+=============================  ==============================================
+counter                        incremented when
+=============================  ==============================================
+``link_errors_corrected``      an HBH retransmission round or an in-place
+                               FEC correction recovers a link upset
+``rt_errors_corrected``        a misdirected header is caught (locally by the
+                               VA state check or remotely via a route-NACK)
+``sa_errors_corrected``        the AC unit invalidates an erroneous SA grant
+``va_errors_corrected``        the AC unit invalidates an erroneous VA grant
+``retransmission_rounds``      a NACK triggers a rollback/replay
+``flits_retransmitted``        each flit replayed from a retransmission buffer
+``flits_dropped``              receiver-side drops (corrupt or out-of-window)
+``packets_misrouted``          a packet reaches a wrong destination NI
+``packets_reforwarded``        a misdelivered packet is re-sent onward
+``packets_delivered_corrupt``  delivered with residual corruption
+``packets_lost``               undeliverable (AC-off ablations, give-ups)
+``e2e_retransmissions``        source retransmits a whole packet (E2E)
+``probes_sent``                Rule-1 probes launched
+``probes_discarded``           Rule-2 discards (no deadlock on that path)
+``deadlocks_detected``         probes returning to their origin
+``recovery_activations``       routers switching into recovery mode
+``recovery_forwards``          flits absorbed into retransmission buffers
+                               during recovery (the Figure 10 moves)
+=============================  ==============================================
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LatencyStats:
+    """Streaming mean/min/max (plus optional sample retention)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    keep_samples: bool = False
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 1]; requires ``keep_samples``."""
+        if not self.keep_samples:
+            raise ValueError("percentiles require keep_samples=True")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, int(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+
+@dataclass
+class UtilizationTracker:
+    """Time-averaged occupancy/capacity ratio (Figures 8 and 9)."""
+
+    slot_cycles_occupied: float = 0.0
+    slot_cycles_total: float = 0.0
+
+    def record(self, occupied: float, capacity: float) -> None:
+        self.slot_cycles_occupied += occupied
+        self.slot_cycles_total += capacity
+
+    @property
+    def utilization(self) -> float:
+        if self.slot_cycles_total == 0:
+            return 0.0
+        return self.slot_cycles_occupied / self.slot_cycles_total
+
+
+class StatsCollector:
+    """All measurement state of one simulation run."""
+
+    def __init__(self, keep_latency_samples: bool = False):
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.latency = LatencyStats(keep_samples=keep_latency_samples)
+        self.hops = LatencyStats()
+        self.tx_utilization = UtilizationTracker()
+        self.retx_utilization = UtilizationTracker()
+        #: Energy-event counters (multiplied by per-event energies by the
+        #: power model).  Only events inside the measurement window count.
+        self.energy_events: Dict[str, int] = defaultdict(int)
+        self.measuring = False
+        self.packets_injected = 0
+        self.packets_ejected = 0
+        self.measured_packets = 0
+        self.cycles = 0
+
+    # -- window control ----------------------------------------------------
+
+    def start_measurement(self) -> None:
+        self.measuring = True
+
+    # -- events -----------------------------------------------------------
+
+    def count(self, name: str, increment: int = 1) -> None:
+        self.counters[name] += increment
+
+    def count_measured(self, name: str, increment: int = 1) -> None:
+        """Count only within the measurement window."""
+        if self.measuring:
+            self.counters[name] += increment
+
+    def energy_event(self, name: str, increment: int = 1) -> None:
+        if self.measuring:
+            self.energy_events[name] += increment
+
+    def record_ejection(self, latency: float, hops: int) -> None:
+        self.packets_ejected += 1
+        if self.measuring:
+            self.measured_packets += 1
+            self.latency.record(latency)
+            self.hops.record(hops)
+
+    def record_utilization(
+        self,
+        tx_occupied: float,
+        tx_capacity: float,
+        retx_occupied: float,
+        retx_capacity: float,
+    ) -> None:
+        if self.measuring:
+            self.tx_utilization.record(tx_occupied, tx_capacity)
+            self.retx_utilization.record(retx_occupied, retx_capacity)
+
+    # -- summaries ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def summary(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "cycles": self.cycles,
+            "packets_injected": self.packets_injected,
+            "packets_ejected": self.packets_ejected,
+            "measured_packets": self.measured_packets,
+            "avg_latency": self.latency.mean,
+            "avg_hops": self.hops.mean,
+            "tx_buffer_utilization": self.tx_utilization.utilization,
+            "retx_buffer_utilization": self.retx_utilization.utilization,
+        }
+        out.update({k: float(v) for k, v in sorted(self.counters.items())})
+        return out

@@ -1,0 +1,141 @@
+"""Destination distributions.
+
+Each pattern maps an injecting node to a destination node.  The paper uses
+normal random (NR), bit-complement (BC) and tornado (TN) [19]; transpose and
+hotspot are common additions used by the ablation benches.
+
+Deterministic patterns may map a node to itself (e.g. the center nodes of an
+odd-sized bit-complement); such nodes simply do not inject — the standard
+convention — signalled by returning ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+from repro.noc.topology import MeshTopology
+from repro.types import Coordinate
+
+
+class TrafficPattern:
+    """Base class: maps a source node to a destination node (or None)."""
+
+    name = "abstract"
+
+    def __init__(self, topology: MeshTopology):
+        self.topology = topology
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        raise NotImplementedError
+
+
+class UniformTraffic(TrafficPattern):
+    """Normal random (NR): uniform over all other nodes."""
+
+    name = "uniform"
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        n = self.topology.num_nodes
+        if n < 2:
+            return None
+        dst = rng.randrange(n - 1)
+        return dst if dst < src else dst + 1
+
+
+class BitComplementTraffic(TrafficPattern):
+    """Bit-complement (BC): (x, y) -> (W-1-x, H-1-y).
+
+    On power-of-two meshes this equals complementing the node-id bits; the
+    coordinate form generalizes to any dimensions.
+    """
+
+    name = "bit_complement"
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        topo = self.topology
+        c = topo.coordinates_of(src)
+        dst = topo.node_at(Coordinate(topo.width - 1 - c.x, topo.height - 1 - c.y))
+        return None if dst == src else dst
+
+
+class TornadoTraffic(TrafficPattern):
+    """Tornado (TN): (x, y) -> ((x + ceil(W/2) - 1) mod W, y) [19]."""
+
+    name = "tornado"
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        topo = self.topology
+        c = topo.coordinates_of(src)
+        shift = math.ceil(topo.width / 2) - 1
+        dst = topo.node_at(Coordinate((c.x + shift) % topo.width, c.y))
+        return None if dst == src else dst
+
+
+class TransposeTraffic(TrafficPattern):
+    """Matrix transpose: (x, y) -> (y, x) (square meshes only)."""
+
+    name = "transpose"
+
+    def __init__(self, topology: MeshTopology):
+        super().__init__(topology)
+        if topology.width != topology.height:
+            raise ValueError("transpose traffic requires a square mesh")
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        c = self.topology.coordinates_of(src)
+        dst = self.topology.node_at(Coordinate(c.y, c.x))
+        return None if dst == src else dst
+
+
+class HotspotTraffic(TrafficPattern):
+    """Uniform traffic with extra probability mass on hotspot nodes."""
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        hotspots: Sequence[int],
+        hotspot_fraction: float = 0.2,
+    ):
+        super().__init__(topology)
+        if not hotspots:
+            raise ValueError("need at least one hotspot node")
+        for node in hotspots:
+            if not 0 <= node < topology.num_nodes:
+                raise ValueError(f"hotspot {node} outside the mesh")
+        if not 0.0 < hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in (0, 1]")
+        self.hotspots = list(hotspots)
+        self.hotspot_fraction = hotspot_fraction
+        self._uniform = UniformTraffic(topology)
+
+    def destination(self, src: int, rng: random.Random) -> Optional[int]:
+        if rng.random() < self.hotspot_fraction:
+            choices = [h for h in self.hotspots if h != src]
+            if choices:
+                return rng.choice(choices)
+        return self._uniform.destination(src, rng)
+
+
+_PATTERNS = {
+    "uniform": UniformTraffic,
+    "nr": UniformTraffic,
+    "bit_complement": BitComplementTraffic,
+    "bc": BitComplementTraffic,
+    "tornado": TornadoTraffic,
+    "tn": TornadoTraffic,
+    "transpose": TransposeTraffic,
+}
+
+
+def make_traffic_pattern(name: str, topology: MeshTopology) -> TrafficPattern:
+    """Factory accepting both full names and the paper's abbreviations."""
+    key = name.lower()
+    if key not in _PATTERNS:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; choose from {sorted(set(_PATTERNS))}"
+        )
+    return _PATTERNS[key](topology)

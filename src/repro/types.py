@@ -1,0 +1,175 @@
+"""Shared value types and enums for the fault-tolerant NoC reproduction.
+
+These types are deliberately tiny and dependency-free: every subpackage of
+:mod:`repro` imports from here, so this module must never import from any of
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class Direction(enum.IntEnum):
+    """Physical channel (port) directions of a 5-port mesh router.
+
+    The integer values double as port indices everywhere in the simulator:
+    input port arrays, output port arrays, crossbar rows/columns and the
+    allocator request matrices are all indexed by ``Direction``.
+    """
+
+    NORTH = 0
+    EAST = 1
+    SOUTH = 2
+    WEST = 3
+    LOCAL = 4  # the PE-to-router channel
+
+    @property
+    def opposite(self) -> "Direction":
+        """The direction a flit arrives *from* when sent *to* this one."""
+        if self is Direction.LOCAL:
+            return Direction.LOCAL
+        return _OPPOSITE[self]
+
+    @property
+    def delta(self) -> "Coordinate":
+        """Unit coordinate offset of one hop in this direction.
+
+        The mesh uses (x, y) with x growing EAST and y growing NORTH.
+        """
+        return _DELTA[self]
+
+
+_OPPOSITE = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+
+class Coordinate(NamedTuple):
+    """An (x, y) position on the mesh."""
+
+    x: int
+    y: int
+
+    def __add__(self, other: object) -> "Coordinate":  # type: ignore[override]
+        if not isinstance(other, tuple):
+            return NotImplemented
+        return Coordinate(self.x + other[0], self.y + other[1])
+
+    def manhattan_distance(self, other: "Coordinate") -> int:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+_DELTA = {
+    Direction.NORTH: Coordinate(0, 1),
+    Direction.SOUTH: Coordinate(0, -1),
+    Direction.EAST: Coordinate(1, 0),
+    Direction.WEST: Coordinate(-1, 0),
+    Direction.LOCAL: Coordinate(0, 0),
+}
+
+
+class FlitType(enum.IntEnum):
+    """Flit classes of a wormhole packet.
+
+    A packet is a HEAD flit, zero or more BODY flits, and a TAIL flit.
+    Single-flit packets use HEAD_TAIL.
+    """
+
+    HEAD = 0
+    BODY = 1
+    TAIL = 2
+    HEAD_TAIL = 3
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+class Corruption(enum.IntEnum):
+    """Symbolic corruption class carried by a flit.
+
+    The hot simulation path tags flits with the *class* of corruption instead
+    of flipping payload bits; the class is exactly what determines scheme
+    behaviour (a SEC/DED code corrects SINGLE and detects-but-cannot-correct
+    MULTI).  The real bit-level codec lives in :mod:`repro.coding` and is
+    validated to produce these classes.
+    """
+
+    NONE = 0
+    SINGLE = 1  # correctable by SEC/DED
+    MULTI = 2  # detectable, not correctable
+
+
+class RoutingAlgorithm(enum.Enum):
+    """Routing algorithms supported by the simulator.
+
+    * ``XY`` — dimension-ordered deterministic routing (the paper's "DT").
+    * ``WEST_FIRST`` — minimal adaptive west-first turn-model routing (the
+      paper's "AD").
+    * ``FULLY_ADAPTIVE`` — minimal fully-adaptive routing with no escape
+      channels; it can deadlock, which exercises the paper's deadlock
+      recovery scheme.
+    * ``SOURCE`` — routes are attached to packets by the injector; used to
+      script deterministic scenarios (e.g. the Figure 10/11 deadlocks).
+    """
+
+    XY = "xy"
+    WEST_FIRST = "west_first"
+    FULLY_ADAPTIVE = "fully_adaptive"
+    SOURCE = "source"
+
+
+class LinkProtection(enum.Enum):
+    """Link-error handling scheme (the Figure 5 comparison axis).
+
+    * ``HBH`` — the paper's flit-based hop-by-hop retransmission scheme
+      (Section 3.1): per-hop error check, NACK, 3-deep barrel-shift
+      retransmission buffer replay.
+    * ``E2E`` — end-to-end retransmission: errors are only checked at the
+      destination NI; the whole packet is retransmitted from the source.
+    * ``FEC`` — forward error correction only: single-bit errors are
+      corrected in place at each hop; multi-bit header errors cause
+      misrouting to a wrong destination, after which the packet is forwarded
+      again from the wrong destination (extra traffic, as the paper
+      describes); multi-bit payload errors are delivered corrupted.
+    * ``NONE`` — no protection (fault-free runs / ablation).
+    """
+
+    HBH = "hbh"
+    E2E = "e2e"
+    FEC = "fec"
+    NONE = "none"
+
+
+class FaultSite(enum.Enum):
+    """Places where the injector can introduce a single-event upset."""
+
+    LINK = "link"  # flit corruption during link traversal
+    ROUTING = "rt_logic"  # RT unit computes a wrong output port
+    VC_ALLOC = "va_logic"  # VA grants a wrong/duplicate/invalid output VC
+    SW_ALLOC = "sa_logic"  # SA misdirects/duplicates/multicasts a grant
+    CROSSBAR = "crossbar"  # single-bit upset during crossbar traversal
+    RETX_BUFFER = "retx_buffer"  # upset of a stored retransmission-buffer flit
+    HANDSHAKE = "handshake"  # glitch on a handshake line (TMR-protected)
+
+
+class VCState(enum.IntEnum):
+    """Input virtual-channel pipeline state (Figure 2's atomic modules).
+
+    IDLE -> ROUTING (RT stage) -> WAITING_VA (VA stage) -> ACTIVE (SA/ST per
+    flit) -> IDLE when the tail leaves.
+    """
+
+    IDLE = 0
+    ROUTING = 1
+    WAITING_VA = 2
+    ACTIVE = 3

@@ -1,0 +1,70 @@
+"""Tests for the CRC engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.crc import CRC8_ATM, CRC16_CCITT, Crc
+
+
+class TestKnownVectors:
+    def test_crc16_ccitt_check_value(self):
+        # Canonical "123456789" check value for CRC-16/CCITT-FALSE.
+        assert CRC16_CCITT.compute(b"123456789") == 0x29B1
+
+    def test_crc8_atm_check_value(self):
+        # Canonical "123456789" check value for CRC-8 (poly 0x07).
+        assert CRC8_ATM.compute(b"123456789") == 0xF4
+
+    def test_empty_message(self):
+        assert CRC8_ATM.compute(b"") == 0
+        assert CRC16_CCITT.compute(b"") == 0xFFFF
+
+
+class TestConstruction:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Crc(0, 0x7)
+        with pytest.raises(ValueError):
+            Crc(65, 0x7)
+
+    def test_rejects_bad_byte(self):
+        with pytest.raises(ValueError):
+            CRC8_ATM.compute([256])
+
+
+class TestComputeInt:
+    def test_matches_byte_serialization(self):
+        value = 0xDEADBEEF
+        assert CRC16_CCITT.compute_int(value, 4) == CRC16_CCITT.compute(
+            value.to_bytes(4, "big")
+        )
+
+    def test_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            CRC8_ATM.compute_int(0x1FF, 1)
+
+
+class TestErrorDetection:
+    def test_verify(self):
+        data = b"network-on-chip"
+        crc = CRC16_CCITT.compute(data)
+        assert CRC16_CCITT.verify(data, crc)
+        assert not CRC16_CCITT.verify(b"network-on-chop", crc)
+
+    @given(
+        data=st.binary(min_size=1, max_size=32),
+        byte_index=st.integers(min_value=0, max_value=31),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_detects_any_single_byte_error(self, data, byte_index, flip):
+        byte_index %= len(data)
+        corrupted = bytearray(data)
+        corrupted[byte_index] ^= flip
+        assert CRC16_CCITT.compute(data) != CRC16_CCITT.compute(bytes(corrupted))
+
+    @given(data=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, data):
+        assert CRC16_CCITT.compute(data) == CRC16_CCITT.compute(data)

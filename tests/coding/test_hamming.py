@@ -1,0 +1,151 @@
+"""Tests for the extended Hamming SEC/DED codec.
+
+The codec is the ground truth behind the simulator's symbolic corruption
+classes, so it gets the heaviest verification: exhaustive single/double
+error sweeps at small widths plus property-based checks at realistic widths.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.hamming import DecodeStatus, HammingSecDed
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "data_bits,parity_bits",
+        [(1, 2), (4, 3), (8, 4), (11, 4), (12, 5), (26, 5), (32, 6), (57, 6), (64, 7)],
+    )
+    def test_parity_bit_counts(self, data_bits, parity_bits):
+        codec = HammingSecDed(data_bits)
+        assert codec.parity_bits == parity_bits
+        assert codec.codeword_bits == data_bits + parity_bits + 1
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            HammingSecDed(0)
+
+    def test_overhead_bits(self):
+        codec = HammingSecDed(64)
+        assert codec.overhead_bits == codec.codeword_bits - 64 == 8
+
+
+class TestRoundTrip:
+    def test_exhaustive_8bit_roundtrip(self):
+        codec = HammingSecDed(8)
+        for data in range(256):
+            result = codec.decode(codec.encode(data))
+            assert result.status is DecodeStatus.OK
+            assert result.data == data
+
+    def test_rejects_oversized_data(self):
+        with pytest.raises(ValueError):
+            HammingSecDed(8).encode(256)
+
+    def test_rejects_negative_data(self):
+        with pytest.raises(ValueError):
+            HammingSecDed(8).encode(-1)
+
+    def test_rejects_oversized_codeword(self):
+        codec = HammingSecDed(8)
+        with pytest.raises(ValueError):
+            codec.decode(1 << codec.codeword_bits)
+
+
+class TestSingleErrorCorrection:
+    def test_exhaustive_all_positions_4bit(self):
+        codec = HammingSecDed(4)
+        for data in range(16):
+            word = codec.encode(data)
+            for pos in range(1, codec.codeword_bits + 1):
+                result = codec.decode(codec.flip_bits(word, (pos,)))
+                assert result.status is DecodeStatus.CORRECTED
+                assert result.data == data, f"data={data}, flipped pos={pos}"
+
+    def test_overall_parity_bit_error_is_corrected(self):
+        codec = HammingSecDed(8)
+        word = codec.encode(0xA5)
+        flipped = codec.flip_bits(word, (codec.codeword_bits,))
+        result = codec.decode(flipped)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == 0xA5
+
+
+class TestDoubleErrorDetection:
+    def test_exhaustive_all_pairs_4bit(self):
+        codec = HammingSecDed(4)
+        word = codec.encode(0b1010)
+        for p1, p2 in itertools.combinations(range(1, codec.codeword_bits + 1), 2):
+            result = codec.decode(codec.flip_bits(word, (p1, p2)))
+            assert result.status is DecodeStatus.DETECTED, (p1, p2)
+
+    def test_double_error_never_miscorrects_silently(self):
+        """A double error must never decode as OK (that would be silent
+        data corruption — exactly what DED exists to prevent)."""
+        codec = HammingSecDed(11)
+        word = codec.encode(0b101_1100_1010)
+        for p1, p2 in itertools.combinations(range(1, codec.codeword_bits + 1), 2):
+            assert codec.decode(codec.flip_bits(word, (p1, p2))).status is not (
+                DecodeStatus.OK
+            )
+
+
+class TestFlipBits:
+    def test_flip_is_involution(self):
+        codec = HammingSecDed(16)
+        word = codec.encode(0xBEEF)
+        assert codec.flip_bits(codec.flip_bits(word, (3, 7)), (3, 7)) == word
+
+    def test_rejects_out_of_range_positions(self):
+        codec = HammingSecDed(8)
+        word = codec.encode(1)
+        with pytest.raises(ValueError):
+            codec.flip_bits(word, (0,))
+        with pytest.raises(ValueError):
+            codec.flip_bits(word, (codec.codeword_bits + 1,))
+
+
+class TestProperties:
+    @given(data=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_64bit(self, data):
+        codec = _CODEC64
+        result = codec.decode(codec.encode(data))
+        assert result.status is DecodeStatus.OK and result.data == data
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        pos=st.integers(min_value=1, max_value=72),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_single_error_corrected_64bit(self, data, pos):
+        codec = _CODEC64
+        pos = min(pos, codec.codeword_bits)
+        result = codec.decode(codec.flip_bits(codec.encode(data), (pos,)))
+        assert result.status is DecodeStatus.CORRECTED and result.data == data
+
+    @given(
+        data=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        positions=st.sets(st.integers(min_value=1, max_value=39), min_size=2, max_size=2),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_double_error_detected_32bit(self, data, positions):
+        codec = _CODEC32
+        result = codec.decode(codec.flip_bits(codec.encode(data), tuple(positions)))
+        assert result.status is DecodeStatus.DETECTED
+
+
+_CODEC64 = HammingSecDed(64)
+_CODEC32 = HammingSecDed(32)
+
+
+class TestCheckShortcut:
+    def test_check_matches_decode_status(self):
+        codec = HammingSecDed(8)
+        word = codec.encode(0x3C)
+        assert codec.check(word) is DecodeStatus.OK
+        assert codec.check(codec.flip_bits(word, (2,))) is DecodeStatus.CORRECTED
+        assert codec.check(codec.flip_bits(word, (2, 9))) is DecodeStatus.DETECTED

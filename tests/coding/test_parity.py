@@ -1,0 +1,74 @@
+"""Tests for parity codes and the TMR voter (Section 4.6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.parity import ParityCode, tmr_vote
+
+
+class TestParityCode:
+    def test_even_parity_roundtrip(self):
+        code = ParityCode(8)
+        for data in (0, 1, 0xFF, 0xA5):
+            word = code.encode(data)
+            assert code.check(word)
+            assert code.extract(word) == data
+
+    def test_odd_parity(self):
+        code = ParityCode(4, even=False)
+        word = code.encode(0b0000)
+        assert code.check(word)
+        # Odd parity of zero data means the parity bit must be set.
+        assert word >> 4 == 1
+
+    def test_detects_single_bit_error(self):
+        code = ParityCode(8)
+        word = code.encode(0x5A)
+        for bit in range(9):
+            assert not code.check(word ^ (1 << bit))
+
+    def test_misses_double_bit_error(self):
+        # Documented limitation: parity detects only odd error counts.
+        code = ParityCode(8)
+        word = code.encode(0x5A)
+        assert code.check(word ^ 0b11)
+
+    def test_rejects_oversized(self):
+        code = ParityCode(4)
+        with pytest.raises(ValueError):
+            code.encode(16)
+        with pytest.raises(ValueError):
+            code.check(1 << 5)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ParityCode(0)
+
+    @given(data=st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, data):
+        code = ParityCode(16)
+        word = code.encode(data)
+        assert code.check(word) and code.extract(word) == data
+
+
+class TestTmrVote:
+    def test_masks_any_single_glitch(self):
+        for value in (True, False):
+            for glitched in range(3):
+                samples = [value] * 3
+                samples[glitched] = not value
+                assert tmr_vote(samples) == value
+
+    def test_unanimous(self):
+        assert tmr_vote([True, True, True]) is True
+        assert tmr_vote([False, False, False]) is False
+
+    def test_double_glitch_flips(self):
+        # TMR's documented limit: two simultaneous upsets win the vote.
+        assert tmr_vote([False, False, True]) is False
+
+    def test_requires_three_samples(self):
+        with pytest.raises(ValueError):
+            tmr_vote([True, False])

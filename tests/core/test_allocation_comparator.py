@@ -1,0 +1,135 @@
+"""Tests for the Allocation Comparator unit (Figure 12).
+
+Each Section 4.1 VA scenario and Section 4.3 SA scenario has a dedicated
+test; clean allocations must always pass (the false-positive direction).
+"""
+
+from repro.core.allocation_comparator import AllocationComparator
+
+P, V = 5, 4
+
+
+def ac():
+    return AllocationComparator(P, V)
+
+
+class TestVAChecks:
+    def test_clean_grants_pass(self):
+        unit = ac()
+        grants = {(0, 0): (2, 1), (1, 3): (3, 0)}
+        candidates = {(0, 0): [2], (1, 3): [3]}
+        reserved = {(p, v): False for p in range(P) for v in range(V)}
+        assert unit.check_va(grants, candidates, reserved) == []
+        assert unit.va_invalidations == 0
+
+    def test_scenario_1_invalid_vc_id(self):
+        unit = ac()
+        errors = unit.check_va(
+            {(0, 0): (2, V)},  # VC id out of range
+            {(0, 0): [2]},
+            {},
+        )
+        assert len(errors) == 1
+        assert errors[0].requester == (0, 0)
+        assert "invalid" in errors[0].reason
+
+    def test_scenario_2_same_vc_to_two_inputs(self):
+        unit = ac()
+        errors = unit.check_va(
+            {(0, 0): (2, 1), (1, 0): (2, 1)},
+            {(0, 0): [2], (1, 0): [2]},
+            {},
+        )
+        flagged = {e.requester for e in errors}
+        assert flagged == {(0, 0), (1, 0)}  # both duplicate grants void
+
+    def test_scenario_3_reserved_vc_granted(self):
+        unit = ac()
+        reserved = {(2, 1): True}
+        errors = unit.check_va({(0, 0): (2, 1)}, {(0, 0): [2]}, reserved)
+        assert len(errors) == 1
+        assert "reserved" in errors[0].reason
+
+    def test_scenario_4a_wrong_vc_same_pc_is_benign(self):
+        # The packet still heads in the intended physical direction; the AC
+        # has no reason (and no information) to flag it.
+        unit = ac()
+        errors = unit.check_va({(0, 0): (2, 3)}, {(0, 0): [2]}, {})
+        assert errors == []
+
+    def test_scenario_4b_wrong_pc_caught_by_rt_agreement(self):
+        unit = ac()
+        errors = unit.check_va({(0, 0): (0, 1)}, {(0, 0): [2]}, {})
+        assert len(errors) == 1
+        assert "disagrees with routing function" in errors[0].reason
+
+    def test_invalid_port_index(self):
+        unit = ac()
+        errors = unit.check_va({(0, 0): (7, 0)}, {(0, 0): [2]}, {})
+        assert len(errors) == 1
+
+    def test_adaptive_candidates_allow_either_port(self):
+        unit = ac()
+        assert unit.check_va({(0, 0): (1, 0)}, {(0, 0): [1, 2]}, {}) == []
+        assert unit.check_va({(0, 0): (2, 0)}, {(0, 0): [1, 2]}, {}) == []
+
+    def test_invalidation_counter_accumulates(self):
+        unit = ac()
+        unit.check_va({(0, 0): (2, V)}, {(0, 0): [2]}, {})
+        unit.check_va({(1, 0): (2, V)}, {(1, 0): [2]}, {})
+        assert unit.va_invalidations == 2
+
+
+class TestSAChecks:
+    VA_STATE = {(0, 0): 2, (1, 0): 3, (3, 2): 1}
+
+    def test_clean_grants_pass(self):
+        unit = ac()
+        grants = [((0, 0), 2), ((1, 0), 3)]
+        assert unit.check_sa(grants, self.VA_STATE) == []
+        assert unit.sa_invalidations == 0
+
+    def test_case_b_wrong_output_port(self):
+        # A data flit directed somewhere other than its packet's wormhole.
+        unit = ac()
+        errors = unit.check_sa([((0, 0), 3)], self.VA_STATE)
+        assert len(errors) == 1
+        assert "VA state says 2" in errors[0].reason
+
+    def test_case_c_two_flits_same_output(self):
+        unit = ac()
+        va_state = {(0, 0): 2, (1, 0): 2}
+        errors = unit.check_sa([((0, 0), 2), ((1, 0), 2)], va_state)
+        assert {e.requester for e in errors} == {(0, 0), (1, 0)}
+
+    def test_case_d_multicast(self):
+        unit = ac()
+        errors = unit.check_sa([((0, 0), 2), ((0, 0), 4)], self.VA_STATE)
+        # The wrong-port copy fails VA agreement; had both matched, the
+        # multicast check would flag them.
+        assert errors
+
+    def test_multicast_same_va_port_flagged(self):
+        unit = ac()
+        va_state = {(0, 0): 2}
+        errors = unit.check_sa([((0, 0), 2), ((0, 0), 2)], va_state)
+        assert errors  # duplicate output grants from one input
+
+    def test_grant_without_va_allocation(self):
+        unit = ac()
+        errors = unit.check_sa([((4, 1), 2)], self.VA_STATE)
+        assert len(errors) == 1
+        assert "unallocated" in errors[0].reason
+
+    def test_invalid_output_port(self):
+        unit = ac()
+        errors = unit.check_sa([((0, 0), 9)], self.VA_STATE)
+        assert len(errors) == 1
+        assert "invalid output port" in errors[0].reason
+
+    def test_false_positive_freedom_under_full_load(self):
+        # A full, legal crossbar schedule must never be flagged.
+        unit = ac()
+        va_state = {(p, 0): (p + 1) % P for p in range(P)}
+        grants = [((p, 0), (p + 1) % P) for p in range(P)]
+        assert unit.check_sa(grants, va_state) == []

@@ -1,0 +1,128 @@
+"""Unit tests for the probing protocol state machine (Rules 1-4)."""
+
+import pytest
+
+from repro.core.deadlock import DeadlockController, ProbeAction
+
+
+def controller(node=0, threshold=16):
+    return DeadlockController(node=node, threshold=threshold)
+
+
+class TestRule1Launching:
+    def test_no_probe_below_threshold(self):
+        c = controller(threshold=16)
+        assert not c.should_probe(cycle=100, blocked_cycles=16)
+
+    def test_probe_above_threshold(self):
+        c = controller(threshold=16)
+        assert c.should_probe(cycle=100, blocked_cycles=17)
+
+    def test_one_outstanding_probe_at_a_time(self):
+        c = controller()
+        assert c.should_probe(100, 50)
+        c.note_probe_sent(100)
+        assert not c.should_probe(101, 51)
+
+    def test_lost_probe_times_out_and_resends(self):
+        c = controller(threshold=16)
+        c.note_probe_sent(100)
+        timeout = DeadlockController.PROBE_TIMEOUT_FACTOR * 16
+        assert c.should_probe(100 + timeout + 1, 999)
+
+    def test_no_probe_while_recovering(self):
+        c = controller()
+        c.enter_recovery(100)
+        assert not c.should_probe(101, 999)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            DeadlockController(node=0, threshold=0)
+
+
+class TestRule2Forwarding:
+    def test_forwards_when_target_blocked(self):
+        c = controller(node=5)
+        decision = c.on_probe(100, origin=9, target_blocked=True, target_route=(2, 1))
+        assert decision.action is ProbeAction.FORWARD
+        assert (decision.out_port, decision.out_vc) == (2, 1)
+
+    def test_discards_when_target_not_blocked(self):
+        c = controller(node=5)
+        decision = c.on_probe(100, origin=9, target_blocked=False, target_route=(2, 1))
+        assert decision.action is ProbeAction.DISCARD
+        assert c.probes_discarded == 1
+
+    def test_forwards_when_in_recovery_even_if_unblocked(self):
+        c = controller(node=5)
+        c.enter_recovery(99)
+        decision = c.on_probe(100, origin=9, target_blocked=False, target_route=(2, 1))
+        assert decision.action is ProbeAction.FORWARD
+
+    def test_discards_without_route(self):
+        c = controller(node=5)
+        decision = c.on_probe(100, origin=9, target_blocked=True, target_route=None)
+        assert decision.action is ProbeAction.DISCARD
+
+    def test_own_probe_returning_detects_deadlock(self):
+        c = controller(node=5)
+        c.note_probe_sent(90)
+        decision = c.on_probe(100, origin=5, target_blocked=True, target_route=(2, 1))
+        assert decision.action is ProbeAction.DEADLOCK_DETECTED
+        assert c.deadlocks_detected == 1
+
+
+class TestRule3ActivationValidation:
+    def test_discards_activation_from_unseen_origin(self):
+        c = controller(node=5)
+        decision = c.on_activation(100, origin=9, target_route=(2, 1))
+        assert decision.action is ProbeAction.DISCARD
+        assert not c.in_recovery(101)
+
+    def test_accepts_activation_after_probe_seen(self):
+        c = controller(node=5)
+        c.on_probe(100, origin=9, target_blocked=True, target_route=(2, 1))
+        decision = c.on_activation(105, origin=9, target_route=(2, 1))
+        assert decision.action is ProbeAction.ENTER_RECOVERY
+        assert c.in_recovery(106)
+        assert (decision.forward_out_port, decision.forward_out_vc) == (2, 1)
+
+    def test_probe_memory_expires(self):
+        c = controller(node=5, threshold=4)
+        c.on_probe(100, origin=9, target_blocked=True, target_route=(2, 1))
+        late = 100 + c.probe_memory + 1
+        decision = c.on_activation(late, origin=9, target_route=(2, 1))
+        assert decision.action is ProbeAction.DISCARD
+
+    def test_origin_activation_return_completes_recovery(self):
+        c = controller(node=5)
+        decision = c.on_activation(100, origin=5, target_route=None)
+        assert decision.action is ProbeAction.ENTER_RECOVERY
+        assert c.in_recovery(101)
+
+
+class TestRule4OwnProbeDiscard:
+    def test_activation_while_waiting_discards_own_probe(self):
+        c = controller(node=5)
+        c.note_probe_sent(90)
+        c.on_probe(95, origin=9, target_blocked=True, target_route=(2, 1))
+        c.on_activation(100, origin=9, target_route=(2, 1))
+        assert c.in_recovery(101)
+        # Now our own probe returns: Rule 4 says discard it.
+        decision = c.on_probe(110, origin=5, target_blocked=True, target_route=(2, 1))
+        assert decision.action is ProbeAction.DISCARD
+
+
+class TestRecoveryWindow:
+    def test_recovery_expires(self):
+        c = controller(threshold=4)
+        c.enter_recovery(100)
+        assert c.in_recovery(100 + c.recovery_duration - 1)
+        assert not c.in_recovery(100 + c.recovery_duration)
+
+    def test_reentry_extends(self):
+        c = controller(threshold=4)
+        c.enter_recovery(100)
+        c.enter_recovery(110)
+        assert c.in_recovery(110 + c.recovery_duration - 1)
+        assert c.activations == 2

@@ -1,0 +1,108 @@
+"""Tests for the Eq. 1 buffer-sizing theorem (Section 3.2.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deadlock import (
+    buffer_lower_bound,
+    max_packets_per_buffer,
+    minimum_total_buffer,
+)
+
+
+class TestPaperExamples:
+    def test_figure10_example(self):
+        # T=4, R=3, M=4, N=ceil(4/4)=1, n=3: B2 = 3*(4+3) = 21 > 4*3 = 12.
+        assert buffer_lower_bound(4, [4, 4, 4], [3, 3, 3])
+
+    def test_figure11_example(self):
+        # T=6, R=3, M=4, N=ceil(6/4)=2, n=4: B2 = 4*(6+3) = 36 > 4*2*4 = 32.
+        assert buffer_lower_bound(4, [6, 6, 6, 6], [3, 3, 3, 3])
+
+    def test_equality_is_not_sufficient(self):
+        # The theorem demands a strict inequality: one spare slot.
+        # T=5, R=3, M=4, N=ceil(5/4)=2: per-node B = 8 == M*N = 8.
+        assert not buffer_lower_bound(4, [5, 5], [3, 3])
+
+    def test_no_retransmission_buffers_fails(self):
+        # Without the retransmission buffers, T=4=M leaves no slack.
+        assert not buffer_lower_bound(4, [4, 4, 4], [0, 0, 0])
+
+
+class TestMaxPacketsPerBuffer:
+    @pytest.mark.parametrize(
+        "depth,m,expected", [(4, 4, 1), (6, 4, 2), (8, 4, 2), (9, 4, 3), (1, 4, 1)]
+    )
+    def test_values(self, depth, m, expected):
+        assert max_packets_per_buffer(depth, m) == expected
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            max_packets_per_buffer(0, 4)
+        with pytest.raises(ValueError):
+            max_packets_per_buffer(4, 0)
+
+
+class TestMinimumTotalBuffer:
+    def test_is_the_boundary(self):
+        m = 4
+        depths = [4, 4, 4]
+        minimum = minimum_total_buffer(m, depths)
+        # Exactly at the minimum: satisfied; one less: violated.
+        spare = minimum - sum(depths)
+        retx = [spare, 0, 0]
+        assert buffer_lower_bound(m, depths, retx)
+        retx_short = [spare - 1, 0, 0]
+        assert not buffer_lower_bound(m, depths, retx_short)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            buffer_lower_bound(4, [4, 4], [3])
+
+    def test_empty_configuration(self):
+        with pytest.raises(ValueError):
+            buffer_lower_bound(4, [], [])
+
+
+class TestProperties:
+    @given(
+        m=st.integers(min_value=1, max_value=16),
+        depths=st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=8),
+        retx=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bound_matches_direct_arithmetic(self, m, depths, retx):
+        retx_depths = [retx] * len(depths)
+        expected = sum(depths) + retx * len(depths) > m * sum(
+            math.ceil(t / m) for t in depths
+        )
+        assert buffer_lower_bound(m, depths, retx_depths) == expected
+
+    @given(
+        m=st.integers(min_value=1, max_value=16),
+        depths=st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_adding_retransmission_capacity_is_monotone(self, m, depths):
+        """If a configuration satisfies Eq. 1, adding retransmission slots
+        never breaks it (the theorem's practical design direction)."""
+        base = minimum_total_buffer(m, depths) - sum(depths)
+        per_node = math.ceil(base / len(depths))
+        assert buffer_lower_bound(m, depths, [per_node] * len(depths))
+        assert buffer_lower_bound(m, depths, [per_node + 1] * len(depths))
+
+    @given(
+        m=st.integers(min_value=1, max_value=8),
+        n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_paper_parameterization_with_3_deep_retx(self, m, n):
+        """With T = M (a packet exactly fills a buffer) and the paper's
+        3-deep retransmission buffers, Eq. 1 always holds: per node,
+        T + R = M + 3 > M * ceil(M/M) = M."""
+        assert buffer_lower_bound(m, [m] * n, [3] * n)

@@ -1,0 +1,53 @@
+"""Tests for the Section 4 logic-error recovery-latency model."""
+
+import pytest
+
+from repro.core.logic_recovery import recovery_latency, worst_case_logic_penalty
+
+
+class TestRecoveryLatency:
+    @pytest.mark.parametrize("stages", [1, 2, 3, 4])
+    def test_va_errors_cost_one_cycle(self, stages):
+        # "The latency delay is still one clock cycle" for every depth.
+        assert recovery_latency("va", "ac", stages) == 1
+
+    @pytest.mark.parametrize("stages", [1, 2, 3, 4])
+    def test_sa_errors_cost_one_cycle(self, stages):
+        assert recovery_latency("sa", "ac", stages) == 1
+
+    @pytest.mark.parametrize("stages", [1, 2, 3, 4])
+    def test_local_rt_catch_costs_one_cycle(self, stages):
+        assert recovery_latency("rt", "local", stages) == 1
+
+    def test_remote_rt_catch_scales_with_pipeline(self):
+        # "The delay penalty is equal to 1 + n (NACK + re-routing and
+        # retransmission)."
+        for stages in (1, 2, 3, 4):
+            assert recovery_latency("rt", "remote", stages) == 1 + stages
+
+    def test_lookahead_matches_papers_quoted_values(self):
+        # 3 cycles for a 2-stage router, 2 cycles for a 1-stage router.
+        assert recovery_latency("rt", "lookahead", 2) == 3
+        assert recovery_latency("rt", "lookahead", 1) == 2
+
+    def test_sa_collision_via_ecc_costs_two_cycles(self):
+        # Case (c): NACK + retransmission, independent of pipeline depth.
+        for stages in (1, 2, 3, 4):
+            assert recovery_latency("sa", "ecc", stages) == 2
+
+    def test_crossbar_upsets_are_free(self):
+        assert recovery_latency("crossbar", "ecc", 3) == 0
+
+    def test_unknown_combination_raises(self):
+        with pytest.raises(KeyError):
+            recovery_latency("va", "ecc", 3)
+
+    def test_invalid_pipeline_raises(self):
+        with pytest.raises(ValueError):
+            recovery_latency("va", "ac", 5)
+
+
+class TestWorstCase:
+    def test_worst_case_is_remote_rt(self):
+        for stages in (1, 2, 3, 4):
+            assert worst_case_logic_penalty(stages) == 1 + stages

@@ -1,0 +1,150 @@
+"""Tests for the barrel-shift retransmission buffer and output channels."""
+
+import pytest
+
+from repro.core.retransmission import OutputChannel, RetransmissionBuffer
+from repro.noc.flit import Flit
+from repro.types import FlitType
+
+
+def make_flit(seq):
+    return Flit(0, seq, FlitType.BODY, 0, 1)
+
+
+class TestRetransmissionBuffer:
+    def test_holds_last_depth_flits(self):
+        buf = RetransmissionBuffer(3)
+        for seq in range(5):
+            buf.store(seq, make_flit(seq))
+        assert [s for s, _ in buf.entries_from(0)] == [2, 3, 4]
+        assert buf.occupancy == 3
+
+    def test_entries_from_filters_and_sorts(self):
+        buf = RetransmissionBuffer(3)
+        for seq in (7, 8, 9):
+            buf.store(seq, make_flit(seq))
+        assert [s for s, _ in buf.entries_from(8)] == [8, 9]
+        assert buf.entries_from(10) == []
+
+    def test_restore_replaces_same_seq(self):
+        # A retransmitted flit re-enters the back of the barrel shifter;
+        # the sequence must not be duplicated.
+        buf = RetransmissionBuffer(3)
+        buf.store(1, make_flit(1))
+        buf.store(2, make_flit(2))
+        buf.store(1, make_flit(1))
+        assert [s for s, _ in buf.entries_from(0)] == [1, 2]
+        assert buf.occupancy == 2
+
+    def test_get(self):
+        buf = RetransmissionBuffer(3)
+        flit = make_flit(4)
+        buf.store(4, flit)
+        assert buf.get(4) is flit
+        assert buf.get(5) is None
+
+    def test_corrupted_seq_cleared_on_overwrite(self):
+        buf = RetransmissionBuffer(3)
+        buf.store(1, make_flit(1))
+        buf.corrupted_seqs.add(1)
+        buf.store(1, make_flit(1))
+        assert 1 not in buf.corrupted_seqs
+
+    def test_corrupted_seq_cleared_on_eviction(self):
+        buf = RetransmissionBuffer(2)
+        buf.store(1, make_flit(1))
+        buf.corrupted_seqs.add(1)
+        buf.store(2, make_flit(2))
+        buf.store(3, make_flit(3))  # evicts seq 1
+        assert 1 not in buf.corrupted_seqs
+
+    def test_duplicate_buffer_restores_clean_copy(self):
+        buf = RetransmissionBuffer(3, duplicate=True)
+        buf.store(1, make_flit(1))
+        assert buf.restore_from_duplicate(1) is not None
+        assert buf.restore_from_duplicate(9) is None
+
+    def test_no_duplicate_buffer_by_default(self):
+        buf = RetransmissionBuffer(3)
+        buf.store(1, make_flit(1))
+        assert buf.restore_from_duplicate(1) is None
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            RetransmissionBuffer(0)
+
+    def test_clear(self):
+        buf = RetransmissionBuffer(3)
+        buf.store(1, make_flit(1))
+        buf.corrupted_seqs.add(1)
+        buf.clear()
+        assert buf.occupancy == 0 and not buf.corrupted_seqs
+
+
+class TestOutputChannel:
+    def make_channel(self, depth=3):
+        channel = OutputChannel(port=1, vc=0, depth=depth)
+        channel.credits = 4
+        return channel
+
+    def test_sequence_numbers_monotonic(self):
+        channel = self.make_channel()
+        assert [channel.take_seq() for _ in range(3)] == [0, 1, 2]
+
+    def test_allocation_lifecycle(self):
+        channel = self.make_channel()
+        assert not channel.is_allocated
+        channel.allocate((2, 1))
+        assert channel.is_allocated and channel.allocated_to == (2, 1)
+        channel.release()
+        assert not channel.is_allocated
+        assert channel.last_owner == (2, 1)  # persists for route-NACK lookup
+
+    def test_rollback_queues_replays_in_order(self):
+        channel = self.make_channel()
+        for seq in range(3):
+            channel.retx.store(seq, make_flit(seq))
+        added = channel.rollback(1)
+        assert added == 2
+        assert [s for s, _ in channel.replay_queue] == [1, 2]
+
+    def test_rollback_idempotent_for_duplicate_nacks(self):
+        channel = self.make_channel()
+        for seq in range(3):
+            channel.retx.store(seq, make_flit(seq))
+        channel.rollback(1)
+        assert channel.rollback(1) == 0
+        assert [s for s, _ in channel.replay_queue] == [1, 2]
+
+    def test_extract_rollback_flits_removes_from_window(self):
+        channel = self.make_channel()
+        flits = [make_flit(s) for s in range(3)]
+        for seq, flit in enumerate(flits):
+            channel.retx.store(seq, flit)
+        extracted = channel.extract_rollback_flits(1)
+        assert extracted == flits[1:]
+        assert channel.retx.entries_from(0) == [(0, flits[0])]
+        # Stale replays beyond the extraction point are dropped too.
+        assert all(s < 1 for s, _ in channel.replay_queue)
+
+    def test_absorption_capacity_shared_with_replays(self):
+        channel = self.make_channel(depth=3)
+        assert channel.absorption_capacity == 3
+        channel.absorb(make_flit(0))
+        assert channel.absorption_capacity == 2
+        channel.retx.store(5, make_flit(5))
+        channel.rollback(5)
+        assert channel.absorption_capacity == 1
+
+    def test_absorption_overflow_raises(self):
+        channel = self.make_channel(depth=3)
+        for i in range(3):
+            channel.absorb(make_flit(i))
+        with pytest.raises(OverflowError):
+            channel.absorb(make_flit(3))
+
+    def test_has_pending_output(self):
+        channel = self.make_channel()
+        assert not channel.has_pending_output
+        channel.absorb(make_flit(0))
+        assert channel.has_pending_output

@@ -1,0 +1,151 @@
+"""Tests for the link-protection destination policies (HBH / E2E / FEC)."""
+
+import random
+
+import pytest
+
+from repro.core.schemes import (
+    DeliveryAction,
+    HeaderField,
+    apply_header_upset,
+    destination_policy,
+    pick_header_field,
+)
+from repro.noc.packet import Packet
+from repro.types import Corruption, LinkProtection
+
+
+def packet_flits(src=3, dst=10, num=4):
+    return Packet(1, src=src, dst=dst, num_flits=num, injection_cycle=0).make_flits()
+
+
+class TestHeaderUpset:
+    def test_dst_hit_rewrites_destination(self):
+        flits = packet_flits(dst=10)
+        head = flits[0]
+        apply_header_upset(head, Corruption.SINGLE, HeaderField.DST, 64, random.Random(1))
+        assert head.dst != 10
+        assert head.true_dst == 10
+        assert head.dst_error is Corruption.SINGLE
+
+    def test_src_hit_tags_only(self):
+        head = packet_flits()[0]
+        apply_header_upset(head, Corruption.MULTI, HeaderField.SRC, 64, random.Random(1))
+        assert head.src_error is Corruption.MULTI
+        assert head.dst == head.true_dst
+
+    def test_payload_hit_corrupts_flit(self):
+        head = packet_flits()[0]
+        apply_header_upset(head, Corruption.MULTI, HeaderField.PAYLOAD, 64, random.Random(1))
+        assert head.corruption is Corruption.MULTI
+
+    def test_field_distribution(self):
+        rng = random.Random(0)
+        fields = [pick_header_field(rng) for _ in range(5000)]
+        dst_frac = fields.count(HeaderField.DST) / len(fields)
+        src_frac = fields.count(HeaderField.SRC) / len(fields)
+        assert dst_frac == pytest.approx(0.10, abs=0.02)
+        assert src_frac == pytest.approx(0.10, abs=0.02)
+
+
+class TestHBHPolicy:
+    def test_clean_delivery(self):
+        flits = packet_flits(dst=10)
+        decision = destination_policy(LinkProtection.HBH, 10, flits)
+        assert decision.action is DeliveryAction.DELIVER
+
+    def test_residual_corruption_delivered_corrupt(self):
+        # Only possible via the give-up path; must be reported, not hidden.
+        flits = packet_flits(dst=10)
+        flits[2].corrupt(Corruption.MULTI)
+        decision = destination_policy(LinkProtection.HBH, 10, flits)
+        assert decision.action is DeliveryAction.DELIVER_CORRUPT
+
+
+class TestFECPolicy:
+    def test_clean_delivery(self):
+        decision = destination_policy(LinkProtection.FEC, 10, packet_flits(dst=10))
+        assert decision.action is DeliveryAction.DELIVER
+
+    def test_single_payload_error_corrected(self):
+        flits = packet_flits(dst=10)
+        flits[1].corrupt(Corruption.SINGLE)
+        decision = destination_policy(LinkProtection.FEC, 10, flits)
+        assert decision.action is DeliveryAction.DELIVER
+
+    def test_multi_payload_error_delivered_corrupt(self):
+        flits = packet_flits(dst=10)
+        flits[1].corrupt(Corruption.MULTI)
+        decision = destination_policy(LinkProtection.FEC, 10, flits)
+        assert decision.action is DeliveryAction.DELIVER_CORRUPT
+
+    def test_recoverable_misroute_forwards_to_true_dst(self):
+        # The paper's scenario: corrected at the wrong destination, then
+        # "the packet should be sent to the correct destination".
+        flits = packet_flits(dst=10)
+        head = flits[0]
+        apply_header_upset(head, Corruption.SINGLE, HeaderField.DST, 64, random.Random(3))
+        decision = destination_policy(LinkProtection.FEC, head.dst, flits)
+        assert decision.action is DeliveryAction.FORWARD_TO_TRUE_DST
+        assert decision.destination == 10
+
+    def test_unrecoverable_misroute_lost(self):
+        flits = packet_flits(dst=10)
+        head = flits[0]
+        apply_header_upset(head, Corruption.MULTI, HeaderField.DST, 64, random.Random(3))
+        decision = destination_policy(LinkProtection.FEC, head.dst, flits)
+        assert decision.action is DeliveryAction.LOST
+
+
+class TestE2EPolicy:
+    def test_clean_delivery(self):
+        decision = destination_policy(LinkProtection.E2E, 10, packet_flits(dst=10))
+        assert decision.action is DeliveryAction.DELIVER
+
+    def test_any_corruption_requests_retransmission(self):
+        for severity in (Corruption.SINGLE, Corruption.MULTI):
+            flits = packet_flits(src=3, dst=10)
+            flits[2].corrupt(severity)
+            decision = destination_policy(LinkProtection.E2E, 10, flits)
+            assert decision.action is DeliveryAction.REQUEST_RETRANSMISSION
+            assert decision.source == 3
+
+    def test_misrouted_packet_requests_from_wrong_destination(self):
+        flits = packet_flits(src=3, dst=10)
+        head = flits[0]
+        apply_header_upset(head, Corruption.SINGLE, HeaderField.DST, 64, random.Random(5))
+        decision = destination_policy(LinkProtection.E2E, head.dst, flits)
+        assert decision.action is DeliveryAction.REQUEST_RETRANSMISSION
+        assert decision.source == 3
+
+    def test_corrupted_source_field_loses_packet(self):
+        # "If the source node address is corrupted, E2E techniques cannot
+        # send the retransmission request to the correct source."
+        flits = packet_flits(src=3, dst=10)
+        flits[0].corrupt(Corruption.MULTI)
+        flits[0].src_error = Corruption.MULTI
+        decision = destination_policy(LinkProtection.E2E, 10, flits)
+        assert decision.action is DeliveryAction.LOST
+
+    def test_recoverable_source_field_still_requests(self):
+        flits = packet_flits(src=3, dst=10)
+        flits[0].corrupt(Corruption.MULTI)
+        flits[0].src_error = Corruption.SINGLE
+        decision = destination_policy(LinkProtection.E2E, 10, flits)
+        assert decision.action is DeliveryAction.REQUEST_RETRANSMISSION
+
+
+class TestUnknownScheme:
+    def test_raises(self):
+        with pytest.raises(ValueError):
+            destination_policy("bogus", 10, packet_flits(dst=10))  # type: ignore[arg-type]
+
+
+class TestWrongEjection:
+    def test_packet_at_wrong_node_forwarded_to_header_destination(self):
+        # An undetected logic fault ejected the packet at node 4, but the
+        # header clearly says 10: every scheme forwards it onward.
+        for scheme in (LinkProtection.HBH, LinkProtection.E2E, LinkProtection.FEC):
+            decision = destination_policy(scheme, 4, packet_flits(dst=10))
+            assert decision.action is DeliveryAction.FORWARD_TO_TRUE_DST
+            assert decision.destination == 10

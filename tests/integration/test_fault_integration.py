@@ -1,0 +1,229 @@
+"""End-to-end fault-injection tests: every fault site, detection on, and
+the AC-off / TMR-off ablations."""
+
+import pytest
+
+from repro.config import FaultConfig, SimulationConfig, WorkloadConfig
+from repro.noc.simulator import run_simulation
+from repro.types import FaultSite, LinkProtection
+from tests.conftest import quick_workload, small_noc
+
+
+def run(noc=None, faults=None, **wl):
+    config = SimulationConfig(
+        noc=noc or small_noc(),
+        faults=faults or FaultConfig.fault_free(),
+        workload=quick_workload(**wl),
+    )
+    return run_simulation(config)
+
+
+class TestLinkFaultsWithHBH:
+    def test_all_packets_delivered_clean_under_storm(self):
+        """5% uncorrectable flit error rate: HBH must deliver everything,
+        uncorrupted, via retransmissions."""
+        result = run(
+            faults=FaultConfig.link_only(0.05, multi_bit_fraction=1.0),
+            num_messages=400,
+        )
+        assert result.packets_lost == 0
+        assert result.counter("packets_delivered_corrupt") == 0
+        assert result.counter("retransmission_rounds") > 0
+        assert result.counter("flits_retransmitted") >= result.counter(
+            "retransmission_rounds"
+        )
+
+    def test_single_bit_errors_corrected_in_place(self):
+        result = run(
+            faults=FaultConfig.link_only(0.05, multi_bit_fraction=0.0),
+            num_messages=300,
+        )
+        assert result.counter("fec_corrections") > 0
+        assert result.counter("retransmission_rounds") == 0
+        assert result.packets_lost == 0
+
+    def test_latency_overhead_small(self):
+        base = run(num_messages=400)
+        storm = run(
+            faults=FaultConfig.link_only(0.05, multi_bit_fraction=1.0),
+            num_messages=400,
+        )
+        # The paper's headline: latency "almost constant" under errors.
+        assert storm.avg_latency < base.avg_latency * 1.3
+
+    def test_unprotected_network_corrupts_packets(self):
+        result = run(
+            noc=small_noc(link_protection=LinkProtection.NONE),
+            faults=FaultConfig.link_only(0.05, multi_bit_fraction=1.0),
+            num_messages=300,
+        )
+        assert result.counter("packets_delivered_corrupt") > 0
+
+
+class TestRoutingFaults:
+    def test_rt_faults_detected_and_all_delivered(self):
+        result = run(
+            faults=FaultConfig.single_site(FaultSite.ROUTING, 0.01),
+            num_messages=400,
+        )
+        assert result.packets_lost == 0
+        assert result.counter("rt_errors_corrected") > 0
+
+    def test_route_nack_rollbacks_occur(self):
+        result = run(
+            faults=FaultConfig.single_site(FaultSite.ROUTING, 0.02),
+            num_messages=400,
+        )
+        # Remote detections (wrong-but-functional direction) roll the
+        # header back to the previous router.
+        assert result.counter("route_nacks_sent") > 0
+        assert result.counter("route_nack_rollbacks") > 0
+
+    def test_rt_fault_latency_penalty_is_bounded(self):
+        base = run(num_messages=400)
+        faulty = run(
+            faults=FaultConfig.single_site(FaultSite.ROUTING, 0.01),
+            num_messages=400,
+        )
+        assert faulty.avg_latency < base.avg_latency * 1.4
+
+
+class TestVAFaults:
+    def test_ac_corrects_va_errors_no_loss(self):
+        result = run(
+            faults=FaultConfig.single_site(FaultSite.VC_ALLOC, 0.01),
+            num_messages=400,
+        )
+        assert result.counter("va_errors_corrected") > 0
+        assert result.packets_lost == 0
+
+    def test_without_ac_va_faults_strand_packets(self):
+        baseline = run(num_messages=400)
+        result = run(
+            noc=small_noc(ac_unit_enabled=False),
+            faults=FaultConfig.single_site(FaultSite.VC_ALLOC, 0.05),
+            num_messages=400,
+            max_cycles=12_000,
+        )
+        # Invalid/duplicate allocations strand wormholes forever: either
+        # the network clogs before the quota completes, or the gap between
+        # injected and finished packets (stuck in dead VCs) blows up
+        # relative to the fault-free baseline's in-flight tail.
+        baseline_gap = baseline.packets_injected - baseline.packets_delivered
+        gap = result.packets_injected - result.packets_delivered - result.packets_lost
+        assert result.hit_cycle_limit or gap > 3 * max(1, baseline_gap)
+
+
+class TestSAFaults:
+    def test_ac_corrects_sa_errors_no_loss(self):
+        result = run(
+            faults=FaultConfig.single_site(FaultSite.SW_ALLOC, 0.005),
+            num_messages=400,
+        )
+        assert result.counter("sa_errors_corrected") > 0
+        assert result.packets_lost == 0
+        assert result.counter("packets_delivered_corrupt") == 0
+
+    def test_without_ac_sa_faults_lose_flits(self):
+        result = run(
+            noc=small_noc(ac_unit_enabled=False),
+            faults=FaultConfig.single_site(FaultSite.SW_ALLOC, 0.01),
+            num_messages=200,
+            max_cycles=6000,
+        )
+        assert (
+            result.counter("sa_misdirected_flits") > 0
+            or result.counter("packets_delivered_corrupt") > 0
+        )
+
+
+class TestCrossbarFaults:
+    def test_crossbar_upsets_corrected_by_ecc(self):
+        # Section 4.4: single-bit upsets, handled by the per-hop check unit.
+        result = run(
+            faults=FaultConfig.single_site(FaultSite.CROSSBAR, 0.02),
+            num_messages=400,
+        )
+        assert result.packets_lost == 0
+        assert result.counter("packets_delivered_corrupt") == 0
+        assert result.counter("fec_corrections") > 0
+
+
+class TestRetxBufferFaults:
+    def _cfg(self, duplicate):
+        return small_noc(duplicate_retx_buffers=duplicate)
+
+    def test_upsets_without_duplicate_buffers_eventually_give_up(self):
+        result = run(
+            noc=self._cfg(False),
+            faults=FaultConfig(
+                rates={FaultSite.LINK: 0.05, FaultSite.RETX_BUFFER: 0.3},
+                link_multi_bit_fraction=1.0,
+            ),
+            num_messages=200,
+        )
+        # Corrupted stored copies replay corrupt -> the receiver's NACK
+        # budget runs out -> corrupted delivery (Section 4.5's loop, broken
+        # by the give-up escape).
+        assert (
+            result.counter("retransmission_giveups") > 0
+            or result.counter("packets_delivered_corrupt") > 0
+        )
+
+    def test_duplicate_buffers_restore_clean_copies(self):
+        result = run(
+            noc=self._cfg(True),
+            faults=FaultConfig(
+                rates={FaultSite.LINK: 0.05, FaultSite.RETX_BUFFER: 0.3},
+                link_multi_bit_fraction=1.0,
+            ),
+            num_messages=200,
+        )
+        assert result.counter("retx_buffer_restores") > 0
+        assert result.counter("packets_delivered_corrupt") == 0
+        assert result.packets_lost == 0
+
+
+class TestHandshakeFaults:
+    def test_tmr_masks_all_glitches(self):
+        result = run(
+            faults=FaultConfig.single_site(FaultSite.HANDSHAKE, 0.01),
+            num_messages=300,
+        )
+        assert result.counter("handshake_glitches_masked") > 0
+        assert result.counter("handshake_signals_lost") == 0
+        assert result.packets_lost == 0
+
+    def test_without_tmr_signals_are_lost(self):
+        result = run(
+            noc=small_noc(handshake_tmr=False),
+            faults=FaultConfig.single_site(FaultSite.HANDSHAKE, 0.01),
+            num_messages=200,
+            max_cycles=8000,
+        )
+        assert result.counter("handshake_signals_lost") > 0
+
+
+class TestCombinedStorm:
+    def test_full_protection_survives_everything_at_once(self):
+        """The paper's 'comprehensive plan of attack': all sites faulted
+        simultaneously, full protection on — nothing lost, nothing corrupt."""
+        faults = FaultConfig(
+            rates={
+                FaultSite.LINK: 0.01,
+                FaultSite.ROUTING: 0.005,
+                FaultSite.VC_ALLOC: 0.005,
+                FaultSite.SW_ALLOC: 0.005,
+                FaultSite.CROSSBAR: 0.005,
+                FaultSite.HANDSHAKE: 0.002,
+            },
+            link_multi_bit_fraction=0.5,
+        )
+        result = run(
+            noc=small_noc(duplicate_retx_buffers=True),
+            faults=faults,
+            num_messages=400,
+        )
+        assert result.packets_lost == 0
+        assert result.counter("packets_delivered_corrupt") == 0
+        assert result.packets_delivered >= 400

@@ -1,0 +1,107 @@
+"""Tests for the separable VC and switch allocators."""
+
+from repro.noc.allocators import SwitchAllocator, VCAllocator
+
+
+class TestVCAllocator:
+    def test_uncontested_request_granted(self):
+        va = VCAllocator(num_ports=5, num_vcs=2)
+        grants = va.allocate(
+            requests={(0, 0): [(1, 0), (1, 1)]},
+            available={(1, 0): True, (1, 1): True},
+        )
+        assert (0, 0) in grants
+        assert grants[(0, 0)][0] == 1
+
+    def test_unavailable_outputs_not_granted(self):
+        va = VCAllocator(5, 2)
+        grants = va.allocate(
+            requests={(0, 0): [(1, 0), (1, 1)]},
+            available={(1, 0): False, (1, 1): False},
+        )
+        assert grants == {}
+
+    def test_contested_output_has_single_winner(self):
+        va = VCAllocator(5, 2)
+        requests = {(0, 0): [(2, 0)], (1, 0): [(2, 0)], (3, 1): [(2, 0)]}
+        grants = va.allocate(requests, available={(2, 0): True})
+        assert len(grants) == 1
+        assert list(grants.values()) == [(2, 0)]
+
+    def test_no_output_vc_double_granted(self):
+        va = VCAllocator(5, 3)
+        requests = {
+            (p, v): [(2, vc) for vc in range(3)] for p in (0, 1, 3) for v in range(3)
+        }
+        available = {(2, vc): True for vc in range(3)}
+        grants = va.allocate(requests, available)
+        granted_outputs = list(grants.values())
+        assert len(granted_outputs) == len(set(granted_outputs))
+        # A separable allocator is not a maximum matcher (stage-1 picks may
+        # collide), but it must grant at least one and never over-grant.
+        assert 1 <= len(grants) <= 3
+
+    def test_disjoint_requests_all_granted(self):
+        va = VCAllocator(5, 2)
+        requests = {(0, 0): [(1, 0)], (2, 1): [(3, 1)]}
+        available = {(1, 0): True, (3, 1): True}
+        grants = va.allocate(requests, available)
+        assert grants == {(0, 0): (1, 0), (2, 1): (3, 1)}
+
+    def test_losers_can_win_next_round(self):
+        va = VCAllocator(5, 1)
+        requests = {(0, 0): [(2, 0)], (1, 0): [(2, 0)]}
+        first = va.allocate(requests, {(2, 0): True})
+        (winner,) = first
+        second = va.allocate(
+            {k: v for k, v in requests.items() if k != winner}, {(2, 0): True}
+        )
+        assert set(second) == set(requests) - {winner}
+
+    def test_input_rotation_spreads_choices(self):
+        va = VCAllocator(5, 2)
+        seen = set()
+        for _ in range(4):
+            grants = va.allocate(
+                requests={(0, 0): [(1, 0), (1, 1)]},
+                available={(1, 0): True, (1, 1): True},
+            )
+            seen.add(grants[(0, 0)])
+        assert seen == {(1, 0), (1, 1)}
+
+
+class TestSwitchAllocator:
+    def test_single_bid_granted(self):
+        sa = SwitchAllocator(5, 3)
+        assert sa.allocate({(0, 1): 2}) == {(0, 1): 2}
+
+    def test_one_grant_per_input_port(self):
+        sa = SwitchAllocator(5, 3)
+        grants = sa.allocate({(0, 0): 1, (0, 1): 2, (0, 2): 3})
+        assert len(grants) == 1
+
+    def test_one_grant_per_output_port(self):
+        sa = SwitchAllocator(5, 3)
+        grants = sa.allocate({(0, 0): 2, (1, 0): 2, (3, 0): 2})
+        assert len(grants) == 1
+        assert list(grants.values()) == [2]
+
+    def test_disjoint_bids_all_granted(self):
+        sa = SwitchAllocator(5, 2)
+        bids = {(0, 0): 1, (1, 0): 2, (2, 0): 3}
+        assert sa.allocate(bids) == bids
+
+    def test_fairness_across_contending_inputs(self):
+        sa = SwitchAllocator(5, 1)
+        bids = {(0, 0): 2, (1, 0): 2}
+        winners = [next(iter(sa.allocate(bids))) for _ in range(4)]
+        assert set(winners) == {(0, 0), (1, 0)}
+
+    def test_empty_bids(self):
+        assert SwitchAllocator(5, 3).allocate({}) == {}
+
+    def test_max_matching_throughput(self):
+        # 5 inputs each wanting a distinct output: all must be granted.
+        sa = SwitchAllocator(5, 2)
+        bids = {(p, 0): (p + 1) % 5 for p in range(5)}
+        assert len(sa.allocate(bids)) == 5

@@ -1,0 +1,92 @@
+"""Tests for the round-robin and matrix arbiters."""
+
+from collections import Counter
+
+import pytest
+
+from repro.noc.arbiters import MatrixArbiter, RoundRobinArbiter
+
+
+class TestRoundRobin:
+    def test_no_requests(self):
+        assert RoundRobinArbiter(4).arbitrate([False] * 4) is None
+
+    def test_single_request_wins(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.arbitrate([False, False, True, False]) == 2
+
+    def test_rotates_after_grant(self):
+        arb = RoundRobinArbiter(3)
+        all_req = [True, True, True]
+        winners = [arb.arbitrate(all_req) for _ in range(6)]
+        assert winners == [0, 1, 2, 0, 1, 2]
+
+    def test_strong_fairness_under_full_load(self):
+        arb = RoundRobinArbiter(5)
+        counts = Counter(arb.arbitrate([True] * 5) for _ in range(100))
+        assert set(counts.values()) == {20}
+
+    def test_skips_idle_requesters(self):
+        arb = RoundRobinArbiter(4)
+        req = [True, False, True, False]
+        winners = [arb.arbitrate(req) for _ in range(4)]
+        assert winners == [0, 2, 0, 2]
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(4).arbitrate([True] * 3)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+    def test_reset(self):
+        arb = RoundRobinArbiter(3)
+        arb.arbitrate([True] * 3)
+        arb.reset()
+        assert arb.arbitrate([True] * 3) == 0
+
+
+class TestMatrixArbiter:
+    def test_no_requests(self):
+        assert MatrixArbiter(4).arbitrate([False] * 4) is None
+
+    def test_initial_priority_order(self):
+        assert MatrixArbiter(4).arbitrate([True] * 4) == 0
+
+    def test_winner_becomes_lowest_priority(self):
+        arb = MatrixArbiter(3)
+        assert arb.arbitrate([True, True, True]) == 0
+        assert arb.arbitrate([True, True, True]) == 1
+        assert arb.arbitrate([True, True, True]) == 2
+        assert arb.arbitrate([True, True, True]) == 0
+
+    def test_least_recently_served(self):
+        arb = MatrixArbiter(3)
+        arb.arbitrate([True, False, False])  # 0 wins, drops priority
+        # 1 and 2 haven't been served; 1 has the higher initial priority.
+        assert arb.arbitrate([True, True, False]) == 1
+        # Now 2 beats both 0 and 1.
+        assert arb.arbitrate([True, True, True]) == 2
+
+    def test_fairness_under_full_load(self):
+        arb = MatrixArbiter(4)
+        counts = Counter(arb.arbitrate([True] * 4) for _ in range(80))
+        assert set(counts.values()) == {20}
+
+    def test_always_grants_exactly_one_winner(self):
+        arb = MatrixArbiter(4)
+        for pattern in range(1, 16):
+            req = [(pattern >> i) & 1 == 1 for i in range(4)]
+            winner = arb.arbitrate(req)
+            assert winner is not None and req[winner]
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MatrixArbiter(2).arbitrate([True] * 3)
+
+    def test_reset(self):
+        arb = MatrixArbiter(2)
+        arb.arbitrate([True, True])
+        arb.reset()
+        assert arb.arbitrate([True, True]) == 0

@@ -1,0 +1,81 @@
+"""Tests for the crossbar and its fault semantics (Section 4.4)."""
+
+import pytest
+
+from repro.noc.crossbar import Crossbar
+from repro.noc.flit import Flit
+from repro.types import Corruption, FlitType
+
+
+def make_flit(seq=0):
+    return Flit(packet_id=0, seq=seq, ftype=FlitType.BODY, src=0, dst=1)
+
+
+class TestTraversal:
+    def test_moves_flits_cleanly(self):
+        xbar = Crossbar(5)
+        f1, f2 = make_flit(1), make_flit(2)
+        driven = xbar.traverse([(0, 2, f1), (1, 3, f2)])
+        assert sorted((port, flit.seq) for port, flit, _ in driven) == [(2, 1), (3, 2)]
+        assert all(corr is Corruption.NONE for _, _, corr in driven)
+        assert xbar.traversals == 2
+
+    def test_empty_moves(self):
+        assert Crossbar(5).traverse([]) == []
+
+    def test_rejects_invalid_ports(self):
+        xbar = Crossbar(5)
+        with pytest.raises(ValueError):
+            xbar.traverse([(5, 0, make_flit())])
+        with pytest.raises(ValueError):
+            xbar.traverse([(0, 9, make_flit())])
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            Crossbar(0)
+
+
+class TestCollisions:
+    def test_two_drivers_garble_both(self):
+        # An undetected SA duplicate grant drives one output from two
+        # inputs; electrically both flits are destroyed (Section 4.3 (c)).
+        xbar = Crossbar(5)
+        driven = xbar.traverse([(0, 2, make_flit(1)), (1, 2, make_flit(2))])
+        assert len(driven) == 2
+        assert all(corr is Corruption.MULTI for _, _, corr in driven)
+
+    def test_collision_does_not_mutate_flits(self):
+        # The retransmission buffer keeps the clean copy (written from the
+        # transmitter register): corruption rides on the traversal record.
+        xbar = Crossbar(5)
+        f1 = make_flit(1)
+        xbar.traverse([(0, 2, f1), (1, 2, make_flit(2))])
+        assert f1.corruption is Corruption.NONE
+
+    def test_multicast_from_one_input_is_not_a_collision(self):
+        xbar = Crossbar(5)
+        f = make_flit()
+        driven = xbar.traverse([(0, 1, f), (0, 2, f)])
+        assert all(corr is Corruption.NONE for _, _, corr in driven)
+
+
+class TestUpsetHook:
+    def test_hook_applies_corruption(self):
+        xbar = Crossbar(5)
+        driven = xbar.traverse(
+            [(0, 1, make_flit())], corrupt_hook=lambda f: Corruption.SINGLE
+        )
+        assert driven[0][2] is Corruption.SINGLE
+
+    def test_hook_none_is_clean(self):
+        xbar = Crossbar(5)
+        driven = xbar.traverse([(0, 1, make_flit())], corrupt_hook=lambda f: None)
+        assert driven[0][2] is Corruption.NONE
+
+    def test_collision_dominates_single_upset(self):
+        xbar = Crossbar(5)
+        driven = xbar.traverse(
+            [(0, 2, make_flit(1)), (1, 2, make_flit(2))],
+            corrupt_hook=lambda f: Corruption.SINGLE,
+        )
+        assert all(corr is Corruption.MULTI for _, _, corr in driven)

@@ -1,0 +1,136 @@
+"""Tests for flits, packets and destination-side reassembly."""
+
+import pytest
+
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet, PacketReassembler, packet_is_corrupted
+from repro.types import Corruption, Direction, FlitType
+
+
+class TestFlit:
+    def test_corruption_accumulates_monotonically(self):
+        flit = Flit(0, 0, FlitType.BODY, 0, 1)
+        flit.corrupt(Corruption.SINGLE)
+        assert flit.corruption is Corruption.SINGLE
+        flit.corrupt(Corruption.MULTI)
+        assert flit.corruption is Corruption.MULTI
+        flit.corrupt(Corruption.SINGLE)  # cannot downgrade
+        assert flit.corruption is Corruption.MULTI
+
+    def test_clear_single_error(self):
+        flit = Flit(0, 0, FlitType.BODY, 0, 1)
+        flit.corrupt(Corruption.SINGLE)
+        assert flit.clear_single_error()
+        assert flit.corruption is Corruption.NONE
+
+    def test_multi_error_not_clearable(self):
+        flit = Flit(0, 0, FlitType.BODY, 0, 1)
+        flit.corrupt(Corruption.MULTI)
+        assert not flit.clear_single_error()
+        assert flit.corruption is Corruption.MULTI
+
+    def test_true_dst_preserved(self):
+        flit = Flit(0, 0, FlitType.HEAD, 0, dst=5)
+        flit.dst = 9  # header corruption rewrites the routed destination
+        assert flit.true_dst == 5
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        flit = Flit(0, 0, FlitType.HEAD, 0, 1)
+        with pytest.raises(AttributeError):
+            flit.extra = 1  # type: ignore[attr-defined]
+
+
+class TestPacket:
+    def test_make_flits_types(self):
+        packet = Packet(1, src=0, dst=5, num_flits=4, injection_cycle=10)
+        flits = packet.make_flits()
+        assert [f.ftype for f in flits] == [
+            FlitType.HEAD,
+            FlitType.BODY,
+            FlitType.BODY,
+            FlitType.TAIL,
+        ]
+        assert all(f.injection_cycle == 10 for f in flits)
+        assert [f.seq for f in flits] == [0, 1, 2, 3]
+
+    def test_single_flit_packet(self):
+        packet = Packet(1, src=0, dst=5, num_flits=1, injection_cycle=0)
+        (flit,) = packet.make_flits()
+        assert flit.ftype is FlitType.HEAD_TAIL
+        assert flit.is_head and flit.is_tail
+
+    def test_two_flit_packet(self):
+        flits = Packet(1, 0, 5, num_flits=2, injection_cycle=0).make_flits()
+        assert [f.ftype for f in flits] == [FlitType.HEAD, FlitType.TAIL]
+
+    def test_retransmission_copies_are_independent(self):
+        packet = Packet(1, src=0, dst=5, num_flits=2, injection_cycle=3)
+        first = packet.make_flits()
+        first[0].corrupt(Corruption.MULTI)
+        second = packet.make_flits()
+        assert second[0].corruption is Corruption.NONE
+        assert second[0].injection_cycle == 3  # latency keeps original origin
+
+    def test_source_route_copies_are_independent(self):
+        packet = Packet(
+            1, 0, 5, num_flits=2, injection_cycle=0,
+            source_route=[Direction.EAST, Direction.NORTH],
+        )
+        a, b = packet.make_flits()[0], packet.make_flits()[0]
+        a.source_route.pop(0)
+        assert len(b.source_route) == 2
+
+
+class TestReassembler:
+    def _flit(self, pid, seq, num=4):
+        ftype = FlitType.HEAD if seq == 0 else (
+            FlitType.TAIL if seq == num - 1 else FlitType.BODY
+        )
+        return Flit(pid, seq, ftype, 0, 1)
+
+    def test_in_order_assembly(self):
+        asm = PacketReassembler()
+        for seq in range(3):
+            result = asm.accept(self._flit(7, seq, 4), 4)
+            assert result is None
+        result = asm.accept(self._flit(7, 3, 4), 4)
+        assert result is not None
+        assert [f.seq for f in result] == [0, 1, 2, 3]
+        assert asm.incomplete_packets == 0
+
+    def test_interleaved_packets(self):
+        asm = PacketReassembler()
+        asm.accept(self._flit(1, 0), 4)
+        asm.accept(self._flit(2, 0), 4)
+        assert asm.incomplete_packets == 2
+        for seq in range(1, 4):
+            asm.accept(self._flit(1, seq), 4)
+        assert asm.incomplete_packets == 1
+        assert set(asm.incomplete_ids()) == {2}
+
+    def test_duplicate_flit_overwrites(self):
+        # Stray copies from undetected multicast faults must not complete a
+        # packet early or corrupt the count.
+        asm = PacketReassembler()
+        asm.accept(self._flit(1, 0), 4)
+        asm.accept(self._flit(1, 0), 4)
+        assert asm.incomplete_packets == 1
+
+    def test_drop(self):
+        asm = PacketReassembler()
+        asm.accept(self._flit(1, 0), 4)
+        asm.accept(self._flit(1, 1), 4)
+        assert asm.drop(1) == 2
+        assert asm.incomplete_packets == 0
+        assert asm.drop(99) == 0
+
+
+class TestPacketIsCorrupted:
+    def test_clean(self):
+        flits = Packet(1, 0, 5, 4, 0).make_flits()
+        assert not packet_is_corrupted(flits)
+
+    def test_any_flit_corrupt(self):
+        flits = Packet(1, 0, 5, 4, 0).make_flits()
+        flits[2].corrupt(Corruption.SINGLE)
+        assert packet_is_corrupted(flits)

@@ -1,0 +1,82 @@
+"""Tests for the structural area/power model behind Table 1."""
+
+import pytest
+
+from repro.config import (
+    PAPER_AC_AREA_MM2,
+    PAPER_AC_POWER_MW,
+    PAPER_ROUTER_AREA_MM2,
+    PAPER_ROUTER_POWER_MW,
+)
+from repro.power.area import (
+    AreaModel,
+    GateInventory,
+    ac_unit_inventory,
+    router_inventory,
+)
+
+
+class TestInventories:
+    def test_router_inventory_positive(self):
+        inv = router_inventory()
+        assert inv.storage_bits > 0 and inv.gates > 0
+
+    def test_buffers_dominate_router_storage(self):
+        inv = router_inventory()
+        # 5 ports x 4 VCs x 4 flits x 64 bits of input buffering alone.
+        assert inv.storage_bits > 5 * 4 * 4 * 64
+
+    def test_ac_is_combinational_dominated(self):
+        inv = ac_unit_inventory()
+        assert inv.gates > inv.storage_bits
+
+    def test_ac_grows_superlinearly_in_vcs(self):
+        # The pairwise duplicate-comparison network is ~quadratic in PV.
+        g2 = ac_unit_inventory(num_vcs=2).gates
+        g4 = ac_unit_inventory(num_vcs=4).gates
+        g8 = ac_unit_inventory(num_vcs=8).gates
+        assert (g8 - g4) > (g4 - g2)
+
+    def test_inventory_addition(self):
+        total = GateInventory(10, 20) + GateInventory(1, 2)
+        assert (total.storage_bits, total.gates) == (11, 22)
+
+    def test_retx_buffers_excludable(self):
+        with_retx = router_inventory(include_retx_buffers=True)
+        without = router_inventory(include_retx_buffers=False)
+        assert with_retx.storage_bits > without.storage_bits
+
+
+class TestCalibration:
+    def test_reproduces_table1_exactly(self):
+        model = AreaModel()
+        data = model.table1()
+        assert data["router_power_mw"] == pytest.approx(PAPER_ROUTER_POWER_MW, rel=1e-6)
+        assert data["router_area_mm2"] == pytest.approx(PAPER_ROUTER_AREA_MM2, rel=1e-6)
+        assert data["ac_power_mw"] == pytest.approx(PAPER_AC_POWER_MW, rel=1e-6)
+        assert data["ac_area_mm2"] == pytest.approx(PAPER_AC_AREA_MM2, rel=1e-6)
+
+    def test_paper_overhead_percentages(self):
+        data = AreaModel().table1()
+        assert data["ac_power_overhead_pct"] == pytest.approx(1.69, abs=0.02)
+        assert data["ac_area_overhead_pct"] == pytest.approx(1.19, abs=0.02)
+
+    def test_coefficients_physically_sensible_for_90nm(self):
+        model = AreaModel()
+        # A buffered bit (FF + muxing) lands in tens of um^2; a gate in
+        # single-digit um^2.
+        assert 1.0 < model.area_per_bit_um2 < 100.0
+        assert 0.1 < model.area_per_gate_um2 < 10.0
+
+    def test_overhead_stays_small_at_paper_scale_configs(self):
+        model = AreaModel()
+        for vcs in (2, 3, 4):
+            data = model.table1(num_vcs=vcs)
+            assert data["ac_area_overhead_pct"] < 3.0
+            assert data["ac_power_overhead_pct"] < 3.0
+
+    def test_area_scales_with_flit_width(self):
+        model = AreaModel()
+        narrow = model.area_mm2(router_inventory(flit_bits=32))
+        wide = model.area_mm2(router_inventory(flit_bits=128))
+        assert wide > 2 * narrow

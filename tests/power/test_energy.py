@@ -1,0 +1,79 @@
+"""Tests for the per-operation energy model."""
+
+import pytest
+
+from repro.power.energy import DEFAULT_EVENT_ENERGY_PJ, EnergyModel
+
+
+class TestEnergyArithmetic:
+    def test_total_energy(self):
+        model = EnergyModel(event_energy_pj={"link": 2.0, "xbar": 1.0})
+        assert model.energy_pj({"link": 10, "xbar": 5}) == 25.0
+        assert model.energy_nj({"link": 10, "xbar": 5}) == pytest.approx(0.025)
+
+    def test_energy_per_packet(self):
+        model = EnergyModel(event_energy_pj={"link": 2.0})
+        assert model.energy_per_packet_nj({"link": 1000}, packets=4) == pytest.approx(
+            0.5
+        )
+
+    def test_zero_packets_is_zero(self):
+        assert EnergyModel().energy_per_packet_nj({"link": 100}, 0) == 0.0
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            EnergyModel().energy_pj({"warp_drive": 1})
+
+    def test_leakage(self):
+        model = EnergyModel(leakage_pj_per_router_cycle=0.5)
+        assert model.leakage_nj(routers=64, cycles=1000) == pytest.approx(32.0)
+
+    def test_breakdown_sums_to_total(self):
+        model = EnergyModel()
+        events = {"link": 10, "xbar": 4, "buffer_write": 7}
+        breakdown = model.breakdown_pj(events)
+        assert sum(breakdown.values()) == pytest.approx(model.energy_pj(events))
+
+
+class TestDefaultCoefficients:
+    def test_all_simulator_events_have_coefficients(self):
+        # Every energy_event() name used in the code base must be priced.
+        expected = {
+            "buffer_write",
+            "buffer_read",
+            "rt_op",
+            "va_grant",
+            "sa_grant",
+            "xbar",
+            "link",
+            "local_link",
+            "retx_write",
+            "retx_read",
+            "nack",
+            "credit",
+            "probe",
+            "ac_check",
+        }
+        assert expected <= set(DEFAULT_EVENT_ENERGY_PJ)
+
+    def test_coefficients_positive(self):
+        assert all(v > 0 for v in DEFAULT_EVENT_ENERGY_PJ.values())
+
+    def test_paper_band_for_average_packet(self):
+        """A 4-flit packet over the 8x8 average path must land in the
+        sub-nanojoule band of Figures 7/13(b)."""
+        model = EnergyModel()
+        hops = 6.33  # 5.33 mesh hops + ejection
+        flits = 4
+        per_flit_hop = {
+            "buffer_write": 1,
+            "buffer_read": 1,
+            "sa_grant": 1,
+            "xbar": 1,
+            "link": 1,
+            "retx_write": 1,
+            "credit": 1,
+        }
+        events = {k: int(v * flits * hops) for k, v in per_flit_hop.items()}
+        energy = model.energy_per_packet_nj(events, 1)
+        assert 0.05 < energy < 1.0

@@ -1,0 +1,86 @@
+"""Tests for the campaign runner."""
+
+import pytest
+
+from repro.campaign import campaign_table, grid, run_campaign
+from repro.config import NoCConfig, SimulationConfig, WorkloadConfig
+
+
+def tiny_base() -> SimulationConfig:
+    return SimulationConfig(
+        noc=NoCConfig(width=3, height=3),
+        workload=WorkloadConfig(
+            injection_rate=0.2, num_messages=100, warmup_messages=20
+        ),
+    )
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        variants = grid(
+            axes={
+                "noc.num_vcs": [1, 2],
+                "workload.injection_rate": [0.1, 0.2, 0.3],
+            },
+            base=tiny_base(),
+        )
+        assert len(variants) == 6
+        names = [name for name, _ in variants]
+        assert "num_vcs=1 injection_rate=0.1" in names
+
+    def test_sets_nested_values(self):
+        variants = grid(
+            axes={"faults.rates.link": [0.01]},
+            base=tiny_base(),
+        )
+        from repro.types import FaultSite
+
+        (_, config), = variants
+        assert config.faults.rate(FaultSite.LINK) == 0.01
+
+    def test_base_not_mutated(self):
+        base = tiny_base()
+        grid(axes={"noc.num_vcs": [7]}, base=base)
+        assert base.noc.num_vcs == 3
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            grid(axes={})
+
+
+class TestRunCampaign:
+    def test_serial_run(self):
+        variants = grid(
+            axes={"workload.injection_rate": [0.1, 0.3]},
+            base=tiny_base(),
+        )
+        rows = run_campaign(variants)
+        assert len(rows) == 2
+        assert rows[0].packets_delivered >= 100
+        # Higher load -> higher latency.
+        assert rows[1].avg_latency > rows[0].avg_latency
+
+    def test_parallel_matches_serial(self):
+        variants = grid(
+            axes={"noc.link_protection": ["hbh", "none"]},
+            base=tiny_base(),
+        )
+        serial = run_campaign(variants, processes=1)
+        parallel = run_campaign(variants, processes=2)
+        assert [r.avg_latency for r in serial] == [
+            r.avg_latency for r in parallel
+        ]
+        assert [r.counters for r in serial] == [r.counters for r in parallel]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_campaign([])
+        with pytest.raises(ValueError):
+            run_campaign(grid(axes={"noc.num_vcs": [1]}, base=tiny_base()), processes=0)
+
+    def test_table_rendering(self):
+        rows = run_campaign(
+            grid(axes={"noc.num_vcs": [1]}, base=tiny_base())
+        )
+        table = campaign_table(rows)
+        assert "variant" in table and "num_vcs=1" in table

@@ -1,0 +1,106 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.width == 8 and args.scheme == "hbh"
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "5"])
+        assert args.number == "5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_basic_run(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--width", "3", "--height", "3",
+                "--messages", "120", "--warmup", "20",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "packets delivered" in out
+        assert "avg latency" in out
+
+    def test_run_with_faults_prints_counters(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--width", "3", "--height", "3",
+                "--messages", "150", "--warmup", "20",
+                "--link-error-rate", "0.05",
+                "--multi-bit-fraction", "1.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "retransmission_rounds" in out
+
+    def test_run_schemes(self, capsys):
+        for scheme in ("e2e", "fec", "none"):
+            rc = main(
+                [
+                    "run",
+                    "--width", "3", "--height", "3",
+                    "--messages", "80", "--warmup", "10",
+                    "--scheme", scheme,
+                ]
+            )
+            assert rc == 0
+
+    def test_run_adaptive_with_recovery(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--width", "3", "--height", "3",
+                "--messages", "80", "--warmup", "10",
+                "--routing", "fully_adaptive",
+                "--deadlock-recovery",
+            ]
+        )
+        assert rc == 0
+
+
+class TestFigureCommand:
+    def test_figure5_tiny_scale(self, capsys):
+        rc = main(["figure", "5", "--messages", "60", "--no-chart"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "HBH" in out and "E2E" in out and "FEC" in out
+
+    def test_figure_chart_rendering(self, capsys):
+        rc = main(["figure", "5", "--messages", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(log x)" in out  # the ASCII chart was rendered
+
+
+class TestTable1Command:
+    def test_prints_paper_numbers(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "119.55" in out and "0.374862" in out
+
+
+class TestSweepCommand:
+    def test_two_point_sweep(self, capsys):
+        rc = main(
+            ["sweep", "--messages", "100", "--rates", "0.05", "0.2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Latency vs injection rate" in out

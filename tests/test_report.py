@@ -1,0 +1,92 @@
+"""Tests for the ASCII chart/table renderer."""
+
+import pytest
+
+from repro.report.charts import (
+    AsciiChart,
+    render_comparison_table,
+    render_series,
+)
+
+
+class TestAsciiChart:
+    def test_plot_and_render(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.plot(0, 0, "*")
+        chart.plot(19, 4, "o")
+        rows = chart.render()
+        assert rows[4][0] == "*"  # row 0 is the bottom
+        assert rows[0][19] == "o"
+
+    def test_out_of_canvas_clipped(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.plot(100, 100, "*")  # must not raise
+        assert all(set(r) <= {" "} for r in chart.render())
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            AsciiChart(width=2, height=2)
+
+
+class TestRenderSeries:
+    def test_contains_title_legend_and_ticks(self):
+        out = render_series(
+            "My Chart", [1, 2, 3], {"a": [1.0, 5.0, 3.0], "b": [2.0, 2.0, 2.0]}
+        )
+        assert "My Chart" in out
+        assert "*=a" in out and "o=b" in out
+        assert "5" in out and "1" in out  # y ticks
+
+    def test_log_x(self):
+        out = render_series(
+            "log", [1e-5, 1e-3, 1e-1], {"s": [1.0, 2.0, 3.0]}, log_x=True
+        )
+        assert "(log x)" in out
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_series("bad", [0.0, 1.0], {"s": [1.0, 2.0]}, log_x=True)
+
+    def test_flat_series_does_not_crash(self):
+        out = render_series("flat", [1, 2], {"s": [5.0, 5.0]})
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = render_series("pt", [1], {"s": [3.0]})
+        assert "pt" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_series("t", [1, 2], {})
+        with pytest.raises(ValueError):
+            render_series("t", [1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            render_series("t", [], {"a": []})
+
+    def test_monotone_series_rises_left_to_right(self):
+        out = render_series("rise", [1, 2, 3, 4], {"s": [1.0, 2.0, 3.0, 4.0]},
+                            width=40, height=8)
+        lines = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        top_line = next(l for l in lines if "*" in l)  # series glyph is '*'
+        bottom_line = next(l for l in reversed(lines) if "*" in l)
+        assert top_line.rindex("*") > bottom_line.index("*")
+
+
+class TestComparisonTable:
+    def test_alignment_and_content(self):
+        out = render_comparison_table(
+            ["name", "value"], [["hbh", 22.37], ["e2e", 823.9]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "hbh" in out and "823.9" in out
+
+    def test_float_formatting(self):
+        out = render_comparison_table(["v"], [[0.123456]])
+        assert "0.1235" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_comparison_table([], [])
+        with pytest.raises(ValueError):
+            render_comparison_table(["a", "b"], [["only-one"]])

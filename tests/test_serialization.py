@@ -1,0 +1,95 @@
+"""Tests for config/result (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.noc.simulator import run_simulation
+from repro.serialization import (
+    config_from_dict,
+    config_from_json,
+    config_to_dict,
+    config_to_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
+
+
+def fancy_config() -> SimulationConfig:
+    return SimulationConfig(
+        noc=NoCConfig(
+            width=4,
+            height=3,
+            num_vcs=2,
+            routing=RoutingAlgorithm.WEST_FIRST,
+            link_protection=LinkProtection.E2E,
+            deadlock_recovery_enabled=True,
+            duplicate_retx_buffers=True,
+        ),
+        faults=FaultConfig(
+            rates={FaultSite.LINK: 0.01, FaultSite.SW_ALLOC: 0.002},
+            link_multi_bit_fraction=0.3,
+            seed=9,
+        ),
+        workload=WorkloadConfig(
+            pattern="tornado",
+            injection_rate=0.15,
+            num_messages=123,
+            warmup_messages=45,
+            seed=6,
+        ),
+        collect_utilization=True,
+        payload_ecc_check=True,
+    )
+
+
+class TestConfigRoundTrip:
+    def test_dict_roundtrip(self):
+        config = fancy_config()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_json_roundtrip(self):
+        config = fancy_config()
+        assert config_from_json(config_to_json(config)) == config
+
+    def test_default_config_roundtrip(self):
+        config = SimulationConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_json_is_valid_and_stable(self):
+        text = config_to_json(fancy_config())
+        data = json.loads(text)
+        assert data["noc"]["routing"] == "west_first"
+        assert data["faults"]["rates"]["link"] == 0.01
+        assert text == config_to_json(config_from_json(text))
+
+    def test_roundtripped_config_runs_identically(self):
+        config = SimulationConfig(
+            noc=NoCConfig(width=3, height=3),
+            faults=FaultConfig.link_only(0.02, multi_bit_fraction=1.0),
+            workload=WorkloadConfig(
+                injection_rate=0.2, num_messages=120, warmup_messages=20
+            ),
+        )
+        a = run_simulation(config)
+        b = run_simulation(config_from_json(config_to_json(config)))
+        assert a.avg_latency == b.avg_latency
+        assert a.counters == b.counters
+
+
+class TestResultSerialization:
+    def test_result_to_json(self):
+        config = SimulationConfig(
+            noc=NoCConfig(width=3, height=3),
+            workload=WorkloadConfig(
+                injection_rate=0.2, num_messages=100, warmup_messages=20
+            ),
+        )
+        result = run_simulation(config)
+        data = result_to_dict(result)
+        assert data["packets_delivered"] >= 100
+        assert data["config"]["noc"]["width"] == 3
+        parsed = json.loads(result_to_json(result))
+        assert parsed["avg_latency"] == pytest.approx(result.avg_latency)

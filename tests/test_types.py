@@ -1,0 +1,115 @@
+"""Unit tests for the shared value types."""
+
+import pytest
+
+from repro.types import (
+    Coordinate,
+    Corruption,
+    Direction,
+    FlitType,
+    LinkProtection,
+    RoutingAlgorithm,
+    VCState,
+)
+
+
+class TestDirection:
+    def test_port_indices_are_stable(self):
+        # The whole simulator indexes arrays by these values.
+        assert int(Direction.NORTH) == 0
+        assert int(Direction.EAST) == 1
+        assert int(Direction.SOUTH) == 2
+        assert int(Direction.WEST) == 3
+        assert int(Direction.LOCAL) == 4
+
+    @pytest.mark.parametrize(
+        "direction,opposite",
+        [
+            (Direction.NORTH, Direction.SOUTH),
+            (Direction.SOUTH, Direction.NORTH),
+            (Direction.EAST, Direction.WEST),
+            (Direction.WEST, Direction.EAST),
+            (Direction.LOCAL, Direction.LOCAL),
+        ],
+    )
+    def test_opposites(self, direction, opposite):
+        assert direction.opposite is opposite
+
+    def test_opposite_is_involution(self):
+        for d in Direction:
+            assert d.opposite.opposite is d
+
+    @pytest.mark.parametrize(
+        "direction,delta",
+        [
+            (Direction.NORTH, (0, 1)),
+            (Direction.SOUTH, (0, -1)),
+            (Direction.EAST, (1, 0)),
+            (Direction.WEST, (-1, 0)),
+            (Direction.LOCAL, (0, 0)),
+        ],
+    )
+    def test_deltas(self, direction, delta):
+        assert tuple(direction.delta) == delta
+
+    def test_delta_and_opposite_cancel(self):
+        for d in (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST):
+            moved = Coordinate(5, 5) + d.delta
+            back = moved + d.opposite.delta
+            assert back == Coordinate(5, 5)
+
+
+class TestCoordinate:
+    def test_addition(self):
+        assert Coordinate(1, 2) + (3, 4) == Coordinate(4, 6)
+
+    def test_manhattan_distance(self):
+        assert Coordinate(0, 0).manhattan_distance(Coordinate(3, 4)) == 7
+        assert Coordinate(2, 2).manhattan_distance(Coordinate(2, 2)) == 0
+
+    def test_manhattan_distance_symmetric(self):
+        a, b = Coordinate(1, 7), Coordinate(4, 2)
+        assert a.manhattan_distance(b) == b.manhattan_distance(a)
+
+    def test_is_tuple(self):
+        x, y = Coordinate(3, 9)
+        assert (x, y) == (3, 9)
+
+
+class TestFlitType:
+    def test_head_classification(self):
+        assert FlitType.HEAD.is_head
+        assert FlitType.HEAD_TAIL.is_head
+        assert not FlitType.BODY.is_head
+        assert not FlitType.TAIL.is_head
+
+    def test_tail_classification(self):
+        assert FlitType.TAIL.is_tail
+        assert FlitType.HEAD_TAIL.is_tail
+        assert not FlitType.HEAD.is_tail
+        assert not FlitType.BODY.is_tail
+
+
+class TestCorruption:
+    def test_severity_ordering(self):
+        # The flit corruption-accumulation logic relies on this ordering.
+        assert Corruption.NONE.value < Corruption.SINGLE.value < Corruption.MULTI.value
+
+
+class TestEnumsRoundTrip:
+    def test_link_protection_values(self):
+        assert LinkProtection("hbh") is LinkProtection.HBH
+        assert LinkProtection("e2e") is LinkProtection.E2E
+        assert LinkProtection("fec") is LinkProtection.FEC
+
+    def test_routing_algorithm_values(self):
+        assert RoutingAlgorithm("xy") is RoutingAlgorithm.XY
+        assert RoutingAlgorithm("west_first") is RoutingAlgorithm.WEST_FIRST
+
+    def test_vc_state_progression(self):
+        assert (
+            VCState.IDLE
+            < VCState.ROUTING
+            < VCState.WAITING_VA
+            < VCState.ACTIVE
+        )
