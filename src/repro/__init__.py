@@ -42,7 +42,12 @@ from repro.noc import (
     Simulator,
     TorusTopology,
 )
-from repro.campaign import CampaignRow, grid, run_campaign
+from repro.analysis import (
+    InvariantSanitizer,
+    lint_config,
+    verify_deadlock_freedom,
+)
+from repro.campaign import CampaignLintError, CampaignRow, grid, run_campaign
 from repro.noc.simulator import run_simulation
 from repro.power import AreaModel, EnergyModel
 from repro.types import (
@@ -58,8 +63,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllocationComparator",
+    "CampaignLintError",
     "CampaignRow",
     "AreaModel",
+    "InvariantSanitizer",
     "Corruption",
     "DeadlockController",
     "Direction",
@@ -82,6 +89,8 @@ __all__ = [
     "WorkloadConfig",
     "buffer_lower_bound",
     "grid",
+    "lint_config",
+    "verify_deadlock_freedom",
     "minimum_total_buffer",
     "recovery_latency",
     "run_campaign",

@@ -1,0 +1,165 @@
+"""The diagnostic format shared by every static-analysis pass.
+
+All three passes of the NoC linter — the channel-dependency-graph verifier,
+the config rule catalogue and the run-time invariant sanitizer — report
+problems as :class:`Diagnostic` records collected into a
+:class:`DiagnosticReport`.  A diagnostic carries a *stable rule id*
+(``NOC0xx`` for config rules, ``SIM1xx`` for run-time invariants), a
+severity, a human-readable message, an optional fix hint and an optional
+machine-readable witness (e.g. the cycle proving a routing function can
+deadlock).
+
+Rule ids are part of the tool's public contract: scripts may grep for them,
+campaigns archive them in result metadata, and tests pin them.  Never reuse
+or renumber an id.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so that ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass.
+
+    Parameters
+    ----------
+    rule_id:
+        Stable identifier (``NOC001``, ``SIM102``, ...).
+    severity:
+        :class:`Severity`; ERROR diagnostics make ``repro lint`` exit
+        non-zero and abort campaigns.
+    message:
+        One-line statement of the problem, including the offending values.
+    hint:
+        Optional concrete fix ("raise retx_buffer_depth to 5").
+    witness:
+        Optional machine-readable evidence, e.g. the channel cycle proving a
+        deadlock; rendered one element per line in text output.
+    source:
+        Where the linted config came from (a file path, a campaign variant
+        name, ...); empty for in-process configs.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    hint: Optional[str] = None
+    witness: Tuple[str, ...] = ()
+    source: Optional[str] = None
+
+    def format(self) -> str:
+        """Render as compiler-style text: ``source: severity NOC001: msg``."""
+        prefix = f"{self.source}: " if self.source else ""
+        lines = [f"{prefix}{self.severity} {self.rule_id}: {self.message}"]
+        for element in self.witness:
+            lines.append(f"    | {element}")
+        if self.hint:
+            lines.append(f"    = hint: {self.hint}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (campaign metadata, ``repro lint --json``)."""
+        data: Dict[str, Any] = {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.hint:
+            data["hint"] = self.hint
+        if self.witness:
+            data["witness"] = list(self.witness)
+        if self.source:
+            data["source"] = self.source
+        return data
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with verdict helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def with_source(self, source: str) -> "DiagnosticReport":
+        """A copy with ``source`` filled in on every diagnostic lacking one."""
+        return DiagnosticReport(
+            [
+                d if d.source else Diagnostic(
+                    d.rule_id, d.severity, d.message, d.hint, d.witness, source
+                )
+                for d in self.diagnostics
+            ]
+        )
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code for CLI use: 1 if any ERROR, else 0."""
+        return 1 if self.has_errors else 0
+
+    def format_text(self) -> str:
+        """Full human-readable report plus a one-line summary."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+    def summary_line(self) -> str:
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_info = len(self.diagnostics) - n_err - n_warn
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        parts = []
+        if n_err:
+            parts.append(f"{n_err} error{'s' if n_err != 1 else ''}")
+        if n_warn:
+            parts.append(f"{n_warn} warning{'s' if n_warn != 1 else ''}")
+        if n_info:
+            parts.append(f"{n_info} info")
+        return ", ".join(parts)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [d.to_dict() for d in self.diagnostics]
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)

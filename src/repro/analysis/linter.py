@@ -1,0 +1,182 @@
+"""The config linter: rule catalogue + CDG pass over one or many configs.
+
+Entry points:
+
+* :func:`lint_config` — lint an in-process :class:`SimulationConfig`
+  (used by campaigns before burning simulation cycles).
+* :func:`lint_dict` — lint a raw serialized config dict; range errors the
+  constructors would raise become ``NOC000`` diagnostics instead of
+  tracebacks.
+* :func:`lint_path` / :func:`lint_paths` — lint JSON config files or
+  directories of them (the ``repro lint`` CLI).
+
+The channel-dependency-graph verdict is memoized per (topology, size,
+routing) because campaign grids lint hundreds of variants that share a
+platform.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.analysis.cdg import CDGVerdict, verify_deadlock_freedom
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.rules import LintContext, run_rules
+from repro.config import SimulationConfig
+from repro.noc.routing import resolve_routing_function
+from repro.noc.topology import MeshTopology, TorusTopology
+from repro.serialization import config_from_dict, config_to_dict
+from repro.types import RoutingAlgorithm
+
+#: (topology name, width, height, routing value) -> verdict.
+_CDG_CACHE: Dict[Tuple[str, int, int, str], CDGVerdict] = {}
+
+
+def cdg_verdict_for(config: SimulationConfig) -> Optional[CDGVerdict]:
+    """The (memoized) CDG verdict for a config's platform.
+
+    Returns None for source routing, which has no static routing relation.
+    """
+    noc = config.noc
+    if noc.routing is RoutingAlgorithm.SOURCE:
+        return None
+    key = (noc.topology, noc.width, noc.height, noc.routing.value)
+    verdict = _CDG_CACHE.get(key)
+    if verdict is None:
+        if noc.topology == "torus":
+            topology: MeshTopology = TorusTopology(noc.width, noc.height)
+        else:
+            topology = MeshTopology(noc.width, noc.height)
+        routing_fn = resolve_routing_function(noc.routing, topology)
+        verdict = verify_deadlock_freedom(topology, routing_fn, noc.num_vcs)
+        _CDG_CACHE[key] = verdict
+    return verdict
+
+
+def lint_config(
+    config: SimulationConfig,
+    *,
+    cdg: bool = True,
+    source: Optional[str] = None,
+) -> DiagnosticReport:
+    """Run every lint pass against a constructed config."""
+    ctx = LintContext(
+        data=config_to_dict(config),
+        config=config,
+        cdg=cdg_verdict_for(config) if cdg else None,
+    )
+    report = DiagnosticReport(run_rules(ctx))
+    return report.with_source(source) if source else report
+
+
+def lint_dict(
+    data: Mapping[str, Any],
+    *,
+    cdg: bool = True,
+    source: Optional[str] = None,
+) -> DiagnosticReport:
+    """Lint a raw serialized config dict.
+
+    Construction failures are reported as ``NOC000`` (the config is not even
+    representable) and the raw-dict rules still run, so a file with e.g. a
+    too-shallow retransmission buffer gets the specific ``NOC002`` alongside
+    the constructor's complaint.
+    """
+    config: Optional[SimulationConfig] = None
+    failure: Optional[Diagnostic] = None
+    try:
+        with warnings.catch_warnings():
+            # Construction-time advisories (e.g. the Eq. 1 warning) would be
+            # duplicates here: the rules report them with ids and hints.
+            warnings.simplefilter("ignore")
+            config = config_from_dict(dict(data))
+    except (ValueError, TypeError, KeyError) as exc:
+        failure = Diagnostic(
+            rule_id="NOC000",
+            severity=Severity.ERROR,
+            message=f"config rejected by constructors: {exc}",
+            hint="fix the field, then re-lint for semantic rules",
+        )
+    ctx = LintContext(
+        data=data,
+        config=config,
+        cdg=cdg_verdict_for(config) if (cdg and config is not None) else None,
+    )
+    report = DiagnosticReport()
+    if failure is not None:
+        report.add(failure)
+    report.extend(run_rules(ctx))
+    return report.with_source(source) if source else report
+
+
+def lint_path(path: Union[str, Path], *, cdg: bool = True) -> DiagnosticReport:
+    """Lint one JSON config file, or every ``*.json`` under a directory."""
+    return lint_paths([path], cdg=cdg)
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]], *, cdg: bool = True
+) -> DiagnosticReport:
+    """Lint many files/directories into one combined report."""
+    report = DiagnosticReport()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(path.rglob("*.json"))
+            if not files:
+                report.add(
+                    Diagnostic(
+                        rule_id="NOC000",
+                        severity=Severity.WARNING,
+                        message="directory contains no *.json config files",
+                        source=str(path),
+                    )
+                )
+            for file in files:
+                report.extend(_lint_file(file, cdg=cdg))
+        else:
+            report.extend(_lint_file(path, cdg=cdg))
+    return report
+
+
+def _lint_file(path: Path, *, cdg: bool) -> DiagnosticReport:
+    source = str(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        return DiagnosticReport(
+            [
+                Diagnostic(
+                    rule_id="NOC000",
+                    severity=Severity.ERROR,
+                    message=f"cannot read config file: {exc}",
+                    source=source,
+                )
+            ]
+        )
+    except json.JSONDecodeError as exc:
+        return DiagnosticReport(
+            [
+                Diagnostic(
+                    rule_id="NOC000",
+                    severity=Severity.ERROR,
+                    message=f"invalid JSON: {exc}",
+                    source=source,
+                )
+            ]
+        )
+    if not isinstance(data, dict):
+        return DiagnosticReport(
+            [
+                Diagnostic(
+                    rule_id="NOC000",
+                    severity=Severity.ERROR,
+                    message="top-level JSON value must be an object",
+                    source=source,
+                )
+            ]
+        )
+    return lint_dict(data, cdg=cdg, source=source)

@@ -10,22 +10,125 @@ Commands:
 * ``sweep`` — latency vs injection rate (saturation curves) for a routing
   algorithm, the standard NoC characterization the paper's Figures 8/9
   build on.
+* ``lint`` — the static NoC linter: check JSON config files (or a config
+  assembled from the same flags ``run`` takes) against the ``NOC0xx`` rule
+  catalogue and the channel-dependency-graph deadlock-freedom verifier.
+  Exits non-zero when any ERROR diagnostic fires.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.config import (
-    FaultConfig,
-    NoCConfig,
-    SimulationConfig,
-    WorkloadConfig,
-)
+from repro.config import NoCConfig, SimulationConfig, WorkloadConfig
 from repro.report.charts import render_comparison_table, render_series
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
+
+
+def _add_platform_flags(parser: argparse.ArgumentParser) -> None:
+    """The NoC-platform and fault knobs shared by ``run`` and ``lint``."""
+    parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--height", type=int, default=8)
+    parser.add_argument("--vcs", type=int, default=3, help="virtual channels per port")
+    parser.add_argument("--buffer-depth", type=int, default=4)
+    parser.add_argument("--flits", type=int, default=4, help="flits per packet")
+    parser.add_argument(
+        "--retx-depth",
+        type=int,
+        default=3,
+        help="retransmission buffer depth (Section 3.1 derives 3)",
+    )
+    parser.add_argument(
+        "--routing",
+        choices=[a.value for a in RoutingAlgorithm if a is not RoutingAlgorithm.SOURCE],
+        default="xy",
+    )
+    parser.add_argument(
+        "--scheme", choices=[s.value for s in LinkProtection], default="hbh"
+    )
+    parser.add_argument("--pipeline-stages", type=int, default=3, choices=(1, 2, 3, 4))
+    parser.add_argument("--no-ac", action="store_true", help="disable the AC unit")
+    parser.add_argument(
+        "--deadlock-recovery", action="store_true", help="enable probing + recovery"
+    )
+    parser.add_argument(
+        "--deadlock-threshold",
+        type=int,
+        default=32,
+        help="C_thres: blocked cycles before a probe fires",
+    )
+    parser.add_argument(
+        "--torus", action="store_true", help="torus topology instead of mesh"
+    )
+    parser.add_argument("--link-error-rate", type=float, default=0.0)
+    parser.add_argument(
+        "--multi-bit-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of link errors that defeat SEC",
+    )
+    parser.add_argument("--rt-error-rate", type=float, default=0.0)
+    parser.add_argument("--va-error-rate", type=float, default=0.0)
+    parser.add_argument("--sa-error-rate", type=float, default=0.0)
+
+
+def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rate", type=float, default=0.25, help="flits/node/cycle")
+    parser.add_argument(
+        "--pattern", default="uniform", help="uniform|bit_complement|tornado|transpose"
+    )
+    parser.add_argument("--messages", type=int, default=2000)
+    parser.add_argument("--warmup", type=int, default=400)
+    parser.add_argument("--max-cycles", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
+    """The serialized config dict the flags describe (no constructors run,
+    so ``lint`` can diagnose values the constructors would reject)."""
+    rates: Dict[str, float] = {}
+    for site, value in (
+        (FaultSite.LINK, args.link_error_rate),
+        (FaultSite.ROUTING, args.rt_error_rate),
+        (FaultSite.VC_ALLOC, args.va_error_rate),
+        (FaultSite.SW_ALLOC, args.sa_error_rate),
+    ):
+        if value:
+            rates[site.value] = value
+    return {
+        "noc": {
+            "width": args.width,
+            "height": args.height,
+            "topology": "torus" if args.torus else "mesh",
+            "num_vcs": args.vcs,
+            "vc_buffer_depth": args.buffer_depth,
+            "flits_per_packet": args.flits,
+            "retx_buffer_depth": args.retx_depth,
+            "pipeline_stages": args.pipeline_stages,
+            "routing": args.routing,
+            "link_protection": args.scheme,
+            "ac_unit_enabled": not args.no_ac,
+            "deadlock_recovery_enabled": args.deadlock_recovery,
+            "deadlock_threshold": args.deadlock_threshold,
+        },
+        "faults": {
+            "rates": rates,
+            "link_multi_bit_fraction": args.multi_bit_fraction,
+            "seed": args.seed,
+        },
+        "workload": {
+            "pattern": args.pattern,
+            "injection_rate": args.rate,
+            "num_messages": args.messages,
+            "warmup_messages": args.warmup,
+            "max_cycles": args.max_cycles,
+            "seed": args.seed,
+        },
+        "invariant_checks": getattr(args, "invariant_checks", False),
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,46 +139,47 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one simulation")
-    run.add_argument("--width", type=int, default=8)
-    run.add_argument("--height", type=int, default=8)
-    run.add_argument("--vcs", type=int, default=3, help="virtual channels per port")
-    run.add_argument("--buffer-depth", type=int, default=4)
-    run.add_argument("--flits", type=int, default=4, help="flits per packet")
+    _add_platform_flags(run)
+    _add_workload_flags(run)
     run.add_argument(
-        "--routing",
-        choices=[a.value for a in RoutingAlgorithm if a is not RoutingAlgorithm.SOURCE],
-        default="xy",
-    )
-    run.add_argument(
-        "--scheme", choices=[s.value for s in LinkProtection], default="hbh"
-    )
-    run.add_argument("--pipeline-stages", type=int, default=3, choices=(1, 2, 3, 4))
-    run.add_argument("--rate", type=float, default=0.25, help="flits/node/cycle")
-    run.add_argument(
-        "--pattern", default="uniform", help="uniform|bit_complement|tornado|transpose"
-    )
-    run.add_argument("--messages", type=int, default=2000)
-    run.add_argument("--warmup", type=int, default=400)
-    run.add_argument("--seed", type=int, default=42)
-    run.add_argument("--link-error-rate", type=float, default=0.0)
-    run.add_argument(
-        "--multi-bit-fraction",
-        type=float,
-        default=0.1,
-        help="fraction of link errors that defeat SEC",
-    )
-    run.add_argument("--rt-error-rate", type=float, default=0.0)
-    run.add_argument("--va-error-rate", type=float, default=0.0)
-    run.add_argument("--sa-error-rate", type=float, default=0.0)
-    run.add_argument("--no-ac", action="store_true", help="disable the AC unit")
-    run.add_argument(
-        "--deadlock-recovery", action="store_true", help="enable probing + recovery"
-    )
-    run.add_argument(
-        "--torus", action="store_true", help="torus topology instead of mesh"
+        "--invariant-checks",
+        action="store_true",
+        help="run the per-cycle invariant sanitizer (slow; raises on violation)",
     )
     run.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check config files (or flags) for NoC hazards",
+        description=(
+            "Run the NOC0xx rule catalogue and the channel-dependency-graph "
+            "deadlock-freedom verifier over JSON config files, directories "
+            "of them, or a config assembled from the same flags 'run' "
+            "accepts. Exit status 1 if any ERROR diagnostic fires."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="JSON config files or directories (default: lint the flags)",
+    )
+    _add_platform_flags(lint)
+    _add_workload_flags(lint)
+    lint.add_argument(
+        "--rules", action="store_true", help="list the rule catalogue and exit"
+    )
+    lint.add_argument(
+        "--no-cdg",
+        action="store_true",
+        help="skip the channel-dependency-graph pass (fast, config rules only)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true", help="exit non-zero on warnings too"
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
     )
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -102,45 +206,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis import InvariantViolationError
     from repro.noc.simulator import run_simulation
+    from repro.serialization import config_from_dict
 
-    rates = {}
-    for site, value in (
-        (FaultSite.LINK, args.link_error_rate),
-        (FaultSite.ROUTING, args.rt_error_rate),
-        (FaultSite.VC_ALLOC, args.va_error_rate),
-        (FaultSite.SW_ALLOC, args.sa_error_rate),
-    ):
-        if value:
-            rates[site] = value
-    config = SimulationConfig(
-        noc=NoCConfig(
-            width=args.width,
-            height=args.height,
-            topology="torus" if args.torus else "mesh",
-            num_vcs=args.vcs,
-            vc_buffer_depth=args.buffer_depth,
-            flits_per_packet=args.flits,
-            pipeline_stages=args.pipeline_stages,
-            routing=RoutingAlgorithm(args.routing),
-            link_protection=LinkProtection(args.scheme),
-            ac_unit_enabled=not args.no_ac,
-            deadlock_recovery_enabled=args.deadlock_recovery,
-        ),
-        faults=FaultConfig(
-            rates=rates,
-            link_multi_bit_fraction=args.multi_bit_fraction,
-            seed=args.seed,
-        ),
-        workload=WorkloadConfig(
-            pattern=args.pattern,
-            injection_rate=args.rate,
-            num_messages=args.messages,
-            warmup_messages=args.warmup,
-            seed=args.seed,
-        ),
-    )
-    result = run_simulation(config)
+    config = config_from_dict(_platform_dict(args))
+    try:
+        result = run_simulation(config)
+    except InvariantViolationError as exc:
+        print("simulation aborted: invariant violation", file=sys.stderr)
+        for diag in exc.diagnostics:
+            print(diag.format(), file=sys.stderr)
+        return 1
     if args.json:
         from repro.serialization import result_to_json
 
@@ -157,6 +234,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for name, count in interesting.items():
             print(f"  {name:<28} {count}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_dict, lint_paths
+    from repro.analysis.rules import rule_catalogue
+
+    if args.rules:
+        print(rule_catalogue())
+        return 0
+    cdg = not args.no_cdg
+    if args.paths:
+        report = lint_paths(args.paths, cdg=cdg)
+    else:
+        report = lint_dict(_platform_dict(args), cdg=cdg, source="<flags>")
+    if args.json:
+        print(json.dumps(report.to_dicts(), indent=2))
+    else:
+        print(report.format_text())
+    if args.strict and report.warnings:
+        return 1
+    return report.exit_code
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -268,14 +366,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "table1":
-        return _cmd_table1()
-    if args.command == "sweep":
-        return _cmd_sweep(args)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "table1":
+            return _cmd_table1()
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+    except BrokenPipeError:
+        # Output piped into `head`/`grep` that exited early; suppress the
+        # traceback and keep the diagnostic exit code meaningful.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -124,6 +124,22 @@ class NoCConfig:
             )
         if self.pipeline_stages not in (1, 2, 3, 4):
             raise ValueError("supported router pipelines are 1-4 stages")
+        if self.deadlock_recovery_enabled and not self.deadlock_buffer_bound_ok(1):
+            # Under-provisioned recovery buffers surface as a wedged campaign
+            # hours later; flag them at construction time.  A warning rather
+            # than a rejection so ablations can still model the broken
+            # configuration deliberately; `repro lint` reports the same
+            # condition as the hard error NOC001.
+            import warnings
+
+            warnings.warn(
+                "NOC001: deadlock recovery is enabled but the Eq. 1 buffer "
+                f"bound is violated (T={self.vc_buffer_depth}, "
+                f"R={self.retx_buffer_depth}, M={self.flits_per_packet}): "
+                "recovery cannot guarantee a free slot and may wedge; see "
+                "`repro lint` for the required depth",
+                stacklevel=2,
+            )
 
     @property
     def num_nodes(self) -> int:
@@ -247,6 +263,13 @@ class SimulationConfig:
     flit carries a real extended-Hamming codeword, materialized upsets flip
     real bits, and destinations verify that the SEC/DED decode class matches
     the symbolic corruption tag (see :mod:`repro.coding.payload_check`).
+
+    ``invariant_checks`` enables the cycle-level invariant sanitizer
+    (:mod:`repro.analysis.sanitizer`): after every cycle the simulator
+    asserts flit conservation, wormhole-allocation consistency and VC
+    state-machine legality, raising on the first violation.  Costs roughly
+    one full network walk per cycle; intended for debugging and CI, not
+    campaigns.
     """
 
     noc: NoCConfig = field(default_factory=NoCConfig)
@@ -255,6 +278,7 @@ class SimulationConfig:
     collect_power: bool = True
     collect_utilization: bool = False
     payload_ecc_check: bool = False
+    invariant_checks: bool = False
 
     def replace(self, **changes: object) -> "SimulationConfig":
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

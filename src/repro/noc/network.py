@@ -31,7 +31,7 @@ from repro.noc.flit import Flit
 from repro.noc.link import Link
 from repro.noc.packet import Packet, PacketReassembler
 from repro.noc.router import Router
-from repro.noc.routing import make_routing_function
+from repro.noc.routing import resolve_routing_function
 from repro.noc.topology import MeshTopology
 from repro.stats.collectors import StatsCollector
 from repro.types import Corruption, Direction, LinkProtection, RoutingAlgorithm
@@ -126,6 +126,15 @@ class NetworkInterface:
     def queued_packets(self) -> int:
         return len(self.pending) + sum(1 for s in self._streams if s)
 
+    @property
+    def flits_sent(self) -> int:
+        """Total flits this NI has pushed onto its injection link.
+
+        The per-VC sequence counters are exactly that tally; the invariant
+        sanitizer uses it as the inflow term of flit conservation.
+        """
+        return sum(self._next_seq)
+
     # -- destination side ----------------------------------------------------
 
     def receive(self, cycle: int) -> None:
@@ -153,6 +162,9 @@ class NetworkInterface:
 
     def _handle_packet(self, cycle: int, flits: List[Flit]) -> None:
         scheme = self.config.link_protection
+        # Every completed reassembly consumes its flits, whatever the
+        # delivery outcome; the sanitizer balances this against injections.
+        self.stats.count("flits_ejected", len(flits))
         decision = destination_policy(scheme, self.node, flits)
         head = flits[0]
         action = decision.action
@@ -223,13 +235,29 @@ class Network:
             self.topology = MeshTopology(noc.width, noc.height)
         self.stats = StatsCollector()
         self.injector = FaultInjector(config.faults)
-        if noc.topology == "torus" and noc.routing is RoutingAlgorithm.XY:
-            # Mesh XY ignores wrap links; use the wrap-aware variant.
-            from repro.noc.routing import TorusXYRouting
+        routing_fn = resolve_routing_function(noc.routing, self.topology)
+        if (
+            noc.topology == "torus"
+            and noc.routing is RoutingAlgorithm.XY
+            and not noc.deadlock_recovery_enabled
+            and max(noc.width, noc.height) >= 4
+        ):
+            # NOC008: the wrap links close cyclic channel dependencies that
+            # dimension-ordered routing cannot break, and nothing here will
+            # recover a deadlock once it forms.  `repro lint` reports the
+            # same hazard statically (with the CDG witness cycle).  Rings of
+            # 3 are exempt: every shortest path is a single hop, so no packet
+            # ever chains two same-direction channels and the CDG is acyclic.
+            import warnings
 
-            routing_fn = TorusXYRouting()
-        else:
-            routing_fn = make_routing_function(noc.routing)
+            warnings.warn(
+                "NOC008: XY routing on a torus has cyclic channel "
+                "dependencies across the wraparound links and "
+                "deadlock recovery is disabled; enable "
+                "deadlock_recovery_enabled or expect wedged wormholes "
+                "(run `repro lint` for the witness cycle)",
+                stacklevel=2,
+            )
         self.payload_checker = None
         if config.payload_ecc_check:
             from repro.coding.payload_check import PayloadChecker

@@ -103,6 +103,11 @@ class PacketReassembler:
     def incomplete_packets(self) -> int:
         return len(self._pending)
 
+    @property
+    def held_flits(self) -> int:
+        """Flits sitting in partial assemblies (for conservation checks)."""
+        return sum(len(asm.flits) for asm in self._pending.values())
+
     def incomplete_ids(self) -> List[int]:
         return list(self._pending)
 

@@ -222,6 +222,11 @@ class Router:
                 self.stats.count("link_errors_corrected")
                 self.stats.count("flits_retransmitted", added)
         elif nack.kind == "route":
+            # Replay copies at the rolled-back sequences are about to be
+            # discarded as stale; the conservation invariant needs the tally.
+            stale = sum(1 for s, _ in channel.replay_queue if s >= nack.seq)
+            if stale:
+                self.stats.count("stale_replay_flits_discarded", stale)
             flits = channel.extract_rollback_flits(nack.seq)
             if not flits:
                 return
@@ -230,6 +235,10 @@ class Router:
             owner = channel.allocated_to or channel.last_owner
             channel.release()
             self.stats.count("route_nack_rollbacks")
+            # Flit-granular tally (the rollback counter above is per event):
+            # these flits re-enter the input pipeline from the uncounted
+            # retransmission-buffer storage, so conservation needs the count.
+            self.stats.count("route_nack_flits_restored", len(flits))
             if owner is None:
                 self.stats.count("route_nack_orphans")
                 return

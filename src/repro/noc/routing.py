@@ -150,6 +150,24 @@ def make_routing_function(algorithm: RoutingAlgorithm) -> RoutingFunction:
     raise ValueError(f"unknown routing algorithm: {algorithm}")
 
 
+def resolve_routing_function(
+    algorithm: RoutingAlgorithm, topology: MeshTopology
+) -> RoutingFunction:
+    """The routing function a :class:`~repro.noc.network.Network` actually
+    instantiates for ``(algorithm, topology)``.
+
+    Mesh XY ignores wraparound links, so on a torus the wrap-aware
+    :class:`TorusXYRouting` is substituted.  The static-analysis layer uses
+    this same resolution so that its channel-dependency graph describes the
+    routing function the simulator will really run.
+    """
+    from repro.noc.topology import TorusTopology
+
+    if algorithm is RoutingAlgorithm.XY and isinstance(topology, TorusTopology):
+        return TorusXYRouting()
+    return make_routing_function(algorithm)
+
+
 def xy_arrival_is_legal(
     topology: MeshTopology,
     current: int,

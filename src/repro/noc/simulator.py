@@ -87,6 +87,13 @@ class Simulator:
         )
         self.energy_model = energy_model or EnergyModel()
         self._next_packet_id = 0
+        self.sanitizer = None
+        if config.invariant_checks:
+            from repro.analysis.sanitizer import InvariantSanitizer
+
+            self.sanitizer = InvariantSanitizer(
+                self.network, raise_on_violation=True
+            )
 
     # -- traffic generation -----------------------------------------------------
 
@@ -124,6 +131,8 @@ class Simulator:
                 stats.start_measurement()
                 measuring = True
             self.network.step()
+            if self.sanitizer is not None:
+                self.sanitizer.check()
         return self._build_result(hit_limit)
 
     def run_cycles(self, cycles: int, measure_from: int = 0) -> SimulationResult:
@@ -134,6 +143,8 @@ class Simulator:
                 stats.start_measurement()
             self._generate_traffic(self.network.cycle)
             self.network.step()
+            if self.sanitizer is not None:
+                self.sanitizer.check()
         return self._build_result(False)
 
     def _build_result(self, hit_limit: bool) -> SimulationResult:

@@ -39,6 +39,7 @@ def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
         "collect_power": config.collect_power,
         "collect_utilization": config.collect_utilization,
         "payload_ecc_check": config.payload_ecc_check,
+        "invariant_checks": config.invariant_checks,
     }
 
 
@@ -62,6 +63,7 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
         collect_power=data.get("collect_power", True),
         collect_utilization=data.get("collect_utilization", False),
         payload_ecc_check=data.get("payload_ecc_check", False),
+        invariant_checks=data.get("invariant_checks", False),
     )
 
 

@@ -1,0 +1,297 @@
+"""Config lint rule catalogue tests: every NOC rule fires and stays quiet
+on the conditions it documents, and the ids are stable public contract."""
+
+import warnings
+
+import pytest
+
+from repro.analysis import lint_config, lint_dict
+from repro.analysis.diagnostics import Severity
+from repro.analysis.rules import iter_rules
+from repro.config import (
+    FaultConfig,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.serialization import config_to_dict
+from repro.types import FaultSite, RoutingAlgorithm
+
+
+def make_config(noc=None, faults=None, workload=None):
+    """Build a config, swallowing construction-time advisories (the linter
+    reports the same conditions with ids)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return SimulationConfig(
+            noc=NoCConfig(**(noc or {})),
+            faults=faults or FaultConfig.fault_free(),
+            workload=WorkloadConfig(**(workload or {})),
+        )
+
+
+def rule_ids(report):
+    return [d.rule_id for d in report]
+
+
+class TestCatalogue:
+    def test_ids_are_stable_and_ordered(self):
+        ids = [entry.rule_id for entry in iter_rules()]
+        assert ids == [f"NOC{n:03d}" for n in range(1, 13)]
+
+    def test_paper_baseline_is_clean(self):
+        assert len(lint_config(make_config())) == 0
+
+
+class TestNOC001BufferBound:
+    def test_fires_on_violated_bound(self):
+        report = lint_config(
+            make_config(
+                noc=dict(
+                    deadlock_recovery_enabled=True,
+                    vc_buffer_depth=2,
+                    flits_per_packet=8,
+                )
+            )
+        )
+        (diag,) = report.by_rule("NOC001")
+        assert diag.severity is Severity.ERROR
+        assert "retx_buffer_depth" in diag.hint
+
+    def test_quiet_when_bound_holds_or_recovery_off(self):
+        ok = make_config(noc=dict(deadlock_recovery_enabled=True))
+        assert not lint_config(ok).by_rule("NOC001")
+        off = make_config(noc=dict(vc_buffer_depth=2, flits_per_packet=8))
+        assert not lint_config(off).by_rule("NOC001")
+
+    def test_post_init_warns_on_violated_bound(self):
+        with pytest.warns(UserWarning, match="NOC001"):
+            NoCConfig(
+                deadlock_recovery_enabled=True,
+                vc_buffer_depth=2,
+                flits_per_packet=8,
+            )
+
+    def test_post_init_silent_when_bound_holds(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            NoCConfig(deadlock_recovery_enabled=True)
+
+
+class TestNOC002RetxDepth:
+    def test_fires_on_raw_dict_the_constructor_rejects(self):
+        data = config_to_dict(make_config())
+        data["noc"]["retx_buffer_depth"] = 2
+        report = lint_dict(data)
+        ids = rule_ids(report)
+        assert "NOC000" in ids and "NOC002" in ids
+        assert report.has_errors
+
+
+class TestNOC003Threshold:
+    def test_unreachable_threshold_is_an_error(self):
+        report = lint_config(
+            make_config(
+                noc=dict(deadlock_recovery_enabled=True, deadlock_threshold=500),
+                workload=dict(max_cycles=400),
+            )
+        )
+        (diag,) = report.by_rule("NOC003")
+        assert diag.severity is Severity.ERROR
+
+    def test_hair_trigger_threshold_is_a_warning(self):
+        report = lint_config(
+            make_config(
+                noc=dict(deadlock_recovery_enabled=True, deadlock_threshold=3)
+            )
+        )
+        (diag,) = report.by_rule("NOC003")
+        assert diag.severity is Severity.WARNING
+
+    def test_quiet_without_recovery(self):
+        report = lint_config(
+            make_config(noc=dict(deadlock_threshold=3))
+        )
+        assert not report.by_rule("NOC003")
+
+
+class TestNOC004CyclicCDG:
+    def test_fires_with_witness(self):
+        report = lint_config(
+            make_config(noc=dict(routing=RoutingAlgorithm.FULLY_ADAPTIVE))
+        )
+        (diag,) = report.by_rule("NOC004")
+        assert diag.severity is Severity.ERROR
+        assert diag.witness  # the concrete channel cycle
+
+    def test_quiet_with_recovery_enabled(self):
+        report = lint_config(
+            make_config(
+                noc=dict(
+                    routing=RoutingAlgorithm.FULLY_ADAPTIVE,
+                    deadlock_recovery_enabled=True,
+                )
+            )
+        )
+        assert not report.by_rule("NOC004")
+
+    def test_quiet_when_cdg_pass_skipped(self):
+        report = lint_config(
+            make_config(noc=dict(routing=RoutingAlgorithm.FULLY_ADAPTIVE)),
+            cdg=False,
+        )
+        assert not report.by_rule("NOC004")
+
+
+class TestNOC005DeadMachinery:
+    def test_fires_on_recovery_over_acyclic_cdg(self):
+        report = lint_config(
+            make_config(noc=dict(deadlock_recovery_enabled=True))
+        )
+        (diag,) = report.by_rule("NOC005")
+        assert diag.severity is Severity.WARNING
+
+
+class TestNOC006FaultRates:
+    def test_out_of_range_rate_is_an_error(self):
+        data = config_to_dict(make_config())
+        data["faults"]["rates"]["link"] = 2.0
+        report = lint_dict(data)
+        assert any(
+            d.rule_id == "NOC006" and d.severity is Severity.ERROR
+            for d in report
+        )
+
+    def test_non_numeric_rate_is_an_error(self):
+        data = config_to_dict(make_config())
+        data["faults"]["rates"]["link"] = "lots"
+        report = lint_dict(data)
+        assert any(
+            d.rule_id == "NOC006" and d.severity is Severity.ERROR
+            for d in report
+        )
+
+    def test_stress_rate_is_a_warning(self):
+        report = lint_config(
+            make_config(faults=FaultConfig.link_only(0.2))
+        )
+        (diag,) = report.by_rule("NOC006")
+        assert diag.severity is Severity.WARNING
+
+
+class TestNOC007VCDepth:
+    def test_fires_when_buffer_smaller_than_packet(self):
+        report = lint_config(
+            make_config(noc=dict(vc_buffer_depth=2, flits_per_packet=4))
+        )
+        (diag,) = report.by_rule("NOC007")
+        assert diag.severity is Severity.WARNING
+
+
+class TestNOC008TorusXY:
+    def test_error_without_recovery(self):
+        report = lint_config(make_config(noc=dict(topology="torus")))
+        (diag,) = report.by_rule("NOC008")
+        assert diag.severity is Severity.ERROR
+
+    def test_warning_with_recovery(self):
+        report = lint_config(
+            make_config(
+                noc=dict(topology="torus", deadlock_recovery_enabled=True)
+            )
+        )
+        (diag,) = report.by_rule("NOC008")
+        assert diag.severity is Severity.WARNING
+
+    def test_quiet_on_torus_with_adaptive_routing(self):
+        report = lint_config(
+            make_config(
+                noc=dict(
+                    topology="torus",
+                    routing=RoutingAlgorithm.WEST_FIRST,
+                    deadlock_recovery_enabled=True,
+                )
+            )
+        )
+        assert not report.by_rule("NOC008")
+
+    def test_network_construction_warns(self):
+        """The regression the linter guards statically also warns at
+        construction time, so even direct Network users hear about it."""
+        from repro.noc.network import Network
+
+        with pytest.warns(UserWarning, match="NOC008"):
+            Network(make_config(noc=dict(topology="torus", width=4, height=4)))
+
+    def test_network_construction_quiet_with_recovery(self):
+        from repro.noc.network import Network
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Network(
+                make_config(
+                    noc=dict(
+                        topology="torus",
+                        width=4,
+                        height=4,
+                        deadlock_recovery_enabled=True,
+                    )
+                )
+            )
+
+
+class TestNOC009InjectionRate:
+    def test_superunity_rate_is_an_error(self):
+        report = lint_config(make_config(workload=dict(injection_rate=1.5)))
+        (diag,) = report.by_rule("NOC009")
+        assert diag.severity is Severity.ERROR
+
+    def test_saturated_rate_is_a_warning(self):
+        report = lint_config(make_config(workload=dict(injection_rate=0.6)))
+        (diag,) = report.by_rule("NOC009")
+        assert diag.severity is Severity.WARNING
+
+
+class TestNOC010CycleBudget:
+    def test_fires_on_implausible_budget(self):
+        report = lint_config(
+            make_config(
+                workload=dict(
+                    num_messages=2000, warmup_messages=500, max_cycles=600
+                )
+            )
+        )
+        (diag,) = report.by_rule("NOC010")
+        assert diag.severity is Severity.WARNING
+
+
+class TestNOC011HandshakeTMR:
+    def test_fires_on_ablation(self):
+        report = lint_config(
+            make_config(
+                noc=dict(handshake_tmr=False),
+                faults=FaultConfig.single_site(FaultSite.HANDSHAKE, 0.001),
+            )
+        )
+        (diag,) = report.by_rule("NOC011")
+        assert diag.severity is Severity.WARNING
+
+    def test_quiet_without_handshake_faults(self):
+        report = lint_config(make_config(noc=dict(handshake_tmr=False)))
+        assert not report.by_rule("NOC011")
+
+
+class TestNOC012ACUnit:
+    def test_fires_on_ablation(self):
+        report = lint_config(
+            make_config(
+                noc=dict(ac_unit_enabled=False),
+                faults=FaultConfig.single_site(FaultSite.VC_ALLOC, 0.001),
+            )
+        )
+        (diag,) = report.by_rule("NOC012")
+        assert diag.severity is Severity.WARNING
+
+    def test_quiet_without_logic_faults(self):
+        report = lint_config(make_config(noc=dict(ac_unit_enabled=False)))
+        assert not report.by_rule("NOC012")

@@ -51,16 +51,20 @@ class TestCyclicDeadlock:
 
 class TestNoFalsePositives:
     def _long_chain_network(self, threshold=6):
-        noc = NoCConfig(
-            width=4,
-            height=1,
-            num_vcs=1,
-            vc_buffer_depth=2,
-            flits_per_packet=8,
-            routing=RoutingAlgorithm.SOURCE,
-            deadlock_recovery_enabled=True,
-            deadlock_threshold=threshold,
-        )
+        # Deliberately under-provisioned recovery buffers (T=2 < M=8): this
+        # scenario never deadlocks, so recovery is never asked to deliver on
+        # the Eq. 1 guarantee — but the construction-time advisory fires.
+        with pytest.warns(UserWarning, match="NOC001"):
+            noc = NoCConfig(
+                width=4,
+                height=1,
+                num_vcs=1,
+                vc_buffer_depth=2,
+                flits_per_packet=8,
+                routing=RoutingAlgorithm.SOURCE,
+                deadlock_recovery_enabled=True,
+                deadlock_threshold=threshold,
+            )
         return Network(SimulationConfig(noc=noc))
 
     def test_plain_congestion_is_not_a_deadlock(self):

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The lint session: every static check the repo defines, in one command.
+
+Runs, in order:
+
+1. ``ruff check`` over ``src`` and ``tests`` (if ruff is installed),
+2. ``mypy`` over the strictly-typed ``repro.analysis`` package (if mypy is
+   installed),
+3. ``repro lint examples/configs`` — the repo's own NoC config linter over
+   the shipped example configs (always; no third-party dependency).
+
+Ruff and mypy are optional extras (``pip install -e .[lint]``): when absent
+they are skipped with a notice rather than failing, so the session works in
+the dependency-free environment the simulator itself targets.  Exit status
+is non-zero if any check that actually ran failed.
+
+Usage::
+
+    python tools/lint.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def run_step(name: str, argv: list) -> int:
+    print(f"== {name}: {' '.join(argv)}")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
+    result = subprocess.run(argv, cwd=REPO, env=env)
+    status = "ok" if result.returncode == 0 else f"FAILED ({result.returncode})"
+    print(f"== {name}: {status}\n")
+    return result.returncode
+
+
+def main() -> int:
+    failures = 0
+
+    if importlib.util.find_spec("ruff") is not None:
+        failures += bool(
+            run_step(
+                "ruff", [sys.executable, "-m", "ruff", "check", "src", "tests"]
+            )
+        )
+    else:
+        print("== ruff: not installed, skipping (pip install -e .[lint])\n")
+
+    if importlib.util.find_spec("mypy") is not None:
+        failures += bool(
+            run_step(
+                "mypy",
+                [sys.executable, "-m", "mypy", "-p", "repro.analysis"],
+            )
+        )
+    else:
+        print("== mypy: not installed, skipping (pip install -e .[lint])\n")
+
+    env_cmd = [sys.executable, "-m", "repro", "lint", "examples/configs"]
+    failures += bool(run_step("repro lint", env_cmd))
+
+    if failures:
+        print(f"lint session: {failures} check(s) failed")
+        return 1
+    print("lint session: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(SRC))
+    sys.exit(main())
