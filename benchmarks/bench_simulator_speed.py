@@ -4,35 +4,54 @@ These are the only benches where pytest-benchmark's repeated timing is the
 point (the figure benches time one full regeneration instead).
 """
 
-import random
-
+from benchmarks.workloads import (
+    DEFAULT_CYCLES,
+    build_idle_network,
+    build_loaded_network,
+    build_saturation_network,
+    run_cycles,
+)
 from repro.coding.hamming import HammingSecDed
-from repro.config import NoCConfig, SimulationConfig, WorkloadConfig
 from repro.noc.allocators import SwitchAllocator
-from repro.noc.network import Network
-from repro.noc.packet import Packet
 
 
 def test_simulation_cycles_per_second(benchmark):
     """Cycles/second of a loaded 8x8 mesh (the figure benches' workhorse)."""
 
     def setup():
-        net = Network(SimulationConfig(noc=NoCConfig()))
-        rng = random.Random(1)
-        pid = 0
-        for node in range(64):
-            for _ in range(2):
-                dst = rng.randrange(63)
-                dst = dst if dst < node else dst + 1
-                net.interfaces[node].enqueue(Packet(pid, node, dst, 4, 0))
-                pid += 1
-        return (net,), {}
+        return (build_loaded_network(), DEFAULT_CYCLES["loaded"]), {}
 
-    def run_100_cycles(net):
-        for _ in range(100):
-            net.step()
+    benchmark.pedantic(run_cycles, setup=setup, rounds=5, iterations=1)
 
-    benchmark.pedantic(run_100_cycles, setup=setup, rounds=5, iterations=1)
+
+def test_simulation_idle_mesh_cycles_per_second(benchmark):
+    """Cycles/second of a completely idle 8x8 mesh.
+
+    The activity-driven loop's best case: nothing is queued, so each step
+    only checks the empty active sets.  Compare against the same point with
+    ``activity_driven=False`` (``tools/bench_record.py`` records both) to
+    see the fast path's headline speedup.
+    """
+
+    def setup():
+        return (build_idle_network(), DEFAULT_CYCLES["idle"]), {}
+
+    benchmark.pedantic(run_cycles, setup=setup, rounds=5, iterations=1)
+
+
+def test_simulation_saturation_cycles_per_second(benchmark):
+    """Cycles/second of a saturated 8x8 mesh (every router busy).
+
+    The activity-driven loop's worst case: the active sets hold all 64
+    nodes every cycle, so this measures its bookkeeping overhead relative
+    to plain polling.  ``tools/bench_record.py --check`` enforces that the
+    overhead stays within bounds.
+    """
+
+    def setup():
+        return (build_saturation_network(), DEFAULT_CYCLES["saturation"]), {}
+
+    benchmark.pedantic(run_cycles, setup=setup, rounds=5, iterations=1)
 
 
 def test_switch_allocator_throughput(benchmark):

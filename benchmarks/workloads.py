@@ -1,0 +1,102 @@
+"""Shared workload builders for the simulator speed benchmarks.
+
+Three operating points bracket the scheduler's behaviour space:
+
+* **idle** — an 8x8 mesh with nothing queued anywhere.  The full polling
+  loop still walks all 64 routers and interfaces every cycle; the
+  activity-driven loop touches only the empty active sets.  This is the
+  point the fast path exists for (long drain tails, low-rate campaigns).
+* **loaded** — the historical workhorse: two packets queued per node, a
+  mixed phase where some routers drain while others still carry traffic.
+* **saturation** — enough packets queued per node that every router stays
+  busy for the whole measured window.  Here the active sets contain every
+  node, so this point measures the fast path's bookkeeping overhead — the
+  regression floor ``tools/bench_record.py --check`` enforces.
+
+Both the pytest-benchmark suite (``bench_simulator_speed.py``) and the
+trajectory recorder (``tools/bench_record.py``) build their networks here so
+the two always measure the same thing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.config import NoCConfig, SimulationConfig
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+
+
+def build_idle_network(activity_driven: bool = True) -> Network:
+    """An 8x8 mesh with no traffic at all."""
+    return Network(
+        SimulationConfig(noc=NoCConfig(), activity_driven=activity_driven)
+    )
+
+
+def _enqueue_uniform(net: Network, packets_per_node: int, seed: int = 1) -> None:
+    rng = random.Random(seed)
+    pid = 0
+    num_nodes = net.config.noc.num_nodes
+    for node in range(num_nodes):
+        for _ in range(packets_per_node):
+            dst = rng.randrange(num_nodes - 1)
+            dst = dst if dst < node else dst + 1
+            net.interfaces[node].enqueue(Packet(pid, node, dst, 4, 0))
+            pid += 1
+
+
+def build_loaded_network(activity_driven: bool = True) -> Network:
+    """An 8x8 mesh with two uniform-random packets queued per node."""
+    net = build_idle_network(activity_driven)
+    _enqueue_uniform(net, packets_per_node=2)
+    return net
+
+
+def build_saturation_network(activity_driven: bool = True) -> Network:
+    """An 8x8 mesh with deep per-node queues: every router busy throughout.
+
+    Twenty 4-flit packets per node keep injection queues non-empty for far
+    longer than the measured window, so the activity-driven loop's active
+    sets hold all 64 nodes every cycle — its worst case.
+    """
+    net = build_idle_network(activity_driven)
+    _enqueue_uniform(net, packets_per_node=20)
+    return net
+
+
+WORKLOADS = {
+    "idle": build_idle_network,
+    "loaded": build_loaded_network,
+    "saturation": build_saturation_network,
+}
+
+#: Cycles each workload runs per measurement; idle cycles are so cheap on
+#: the fast path that a large count is needed for a stable timer reading.
+DEFAULT_CYCLES = {"idle": 2000, "loaded": 100, "saturation": 100}
+
+
+def run_cycles(net: Network, cycles: int) -> None:
+    for _ in range(cycles):
+        net.step()
+
+
+def measure_cycles_per_second(
+    workload: str, activity_driven: bool, cycles: int | None = None, rounds: int = 3
+) -> float:
+    """Best-of-``rounds`` cycles/second for one (workload, loop) point.
+
+    Each round builds a fresh network (measurements start from the same
+    state) and times ``cycles`` steps; best-of defends against scheduler
+    noise the same way pytest-benchmark's ``min`` column does.
+    """
+    n = cycles if cycles is not None else DEFAULT_CYCLES[workload]
+    builder = WORKLOADS[workload]
+    best = float("inf")
+    for _ in range(rounds):
+        net = builder(activity_driven)
+        t0 = time.perf_counter()
+        run_cycles(net, n)
+        best = min(best, time.perf_counter() - t0)
+    return n / best

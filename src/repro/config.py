@@ -270,6 +270,15 @@ class SimulationConfig:
     state-machine legality, raising on the first violation.  Costs roughly
     one full network walk per cycle; intended for debugging and CI, not
     campaigns.
+
+    ``activity_driven`` selects the activity-driven cycle loop: the network
+    maintains explicit active sets (routers with buffered flits or pending
+    output, links with in-flight traffic, interfaces with queued packets)
+    and skips idle components instead of polling all of them every cycle.
+    The two loops are bit-for-bit equivalent (see
+    ``docs/PERFORMANCE.md`` and ``tests/noc/test_fast_path_equivalence.py``);
+    the flag exists so equivalence can be re-validated after changes to the
+    hot path and so regressions can be bisected to the scheduling layer.
     """
 
     noc: NoCConfig = field(default_factory=NoCConfig)
@@ -279,6 +288,7 @@ class SimulationConfig:
     collect_utilization: bool = False
     payload_ecc_check: bool = False
     invariant_checks: bool = False
+    activity_driven: bool = True
 
     def replace(self, **changes: object) -> "SimulationConfig":
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

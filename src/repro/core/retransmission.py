@@ -39,6 +39,8 @@ class RetransmissionBuffer:
     of the shifter, exactly as Figure 10's thick-square flits do).
     """
 
+    __slots__ = ("depth", "duplicate", "_entries", "_shadow", "corrupted_seqs")
+
     def __init__(self, depth: int, duplicate: bool = False):
         if depth < 1:
             raise ValueError("retransmission buffer depth must be positive")
@@ -123,6 +125,18 @@ def _copy_corruption_state(flit: "Flit") -> "Flit":
 
 class OutputChannel:
     """State of one output virtual channel (see module docstring)."""
+
+    __slots__ = (
+        "port",
+        "vc",
+        "credits",
+        "allocated_to",
+        "last_owner",
+        "next_seq",
+        "retx",
+        "replay_queue",
+        "absorption_queue",
+    )
 
     def __init__(self, port: int, vc: int, depth: int, duplicate: bool = False):
         self.port = port

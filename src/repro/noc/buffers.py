@@ -22,6 +22,8 @@ from repro.noc.flit import Flit
 class VCBuffer:
     """FIFO flit buffer for one input virtual channel."""
 
+    __slots__ = ("capacity", "_fifo", "rollback_queue")
+
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("buffer capacity must be positive")

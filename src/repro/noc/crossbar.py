@@ -26,6 +26,8 @@ from repro.types import Corruption
 class Crossbar:
     """A P x P flit crossbar with a corruption hook."""
 
+    __slots__ = ("num_ports", "traversals")
+
     def __init__(self, num_ports: int):
         if num_ports < 1:
             raise ValueError("crossbar needs at least one port")

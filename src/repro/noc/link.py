@@ -17,15 +17,21 @@ fault injection, like the paper's PE channel.
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+from typing import Deque, Generic, List, Optional, Set, Tuple, TypeVar
 
 from repro.coding.parity import tmr_vote
 from repro.noc.flit import Flit
 from repro.types import Corruption, Direction
 
 T = TypeVar("T")
+
+#: ``@dataclass(**_SLOTTED)`` for the per-transfer signal records — purely
+#: an allocation optimization, so it degrades gracefully on Python 3.9
+#: where the dataclass option does not exist yet.
+_SLOTTED = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 #: Shared empty result for the (dominant) no-delivery case; callers only
 #: ever iterate the returned list, never mutate it.
@@ -35,6 +41,8 @@ _NOTHING_DUE: List = []
 class DelayLine(Generic[T]):
     """A fixed-latency FIFO channel: items pushed at cycle ``t`` become
     visible to :meth:`pop_due` at cycle ``t + latency``."""
+
+    __slots__ = ("latency", "_queue")
 
     def __init__(self, latency: int = 1):
         if latency < 1:
@@ -62,14 +70,14 @@ class DelayLine(Generic[T]):
         return len(self._queue)
 
 
-@dataclass
+@dataclass(**_SLOTTED)
 class CreditSignal:
     """One buffer slot freed at the downstream input VC."""
 
     vc: int
 
 
-@dataclass
+@dataclass(**_SLOTTED)
 class NackSignal:
     """Negative acknowledgement naming the expected sequence number.
 
@@ -86,7 +94,7 @@ class NackSignal:
     kind: str = "link"
 
 
-@dataclass
+@dataclass(**_SLOTTED)
 class ProbeSignal:
     """Deadlock probe / activation signal (Section 3.2.2).
 
@@ -102,7 +110,7 @@ class ProbeSignal:
     path: List[int] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(**_SLOTTED)
 class FlitTransfer:
     """A flit in flight on a link.
 
@@ -120,7 +128,35 @@ class FlitTransfer:
 
 
 class Link:
-    """One direction of a channel between two routers (or a router and NI)."""
+    """One direction of a channel between two routers (or a router and NI).
+
+    The network's activity-driven scheduler wires each link to two *wake
+    sets* via :meth:`wire_wakes`: sending anything on the forward channels
+    (flits, probes) registers the consumer of the link's forward traffic for
+    processing next cycle, and sending on the reverse channels (credits,
+    NACKs) registers the consumer of its reverse traffic.  Because every
+    channel here is exactly a 1-cycle delay line, a wake registered at push
+    time lands on precisely the cycle the item becomes due, so nothing is
+    ever consumed early or left lingering.  Standalone links (unit tests)
+    leave the wake sets unwired and behave exactly as before.
+    """
+
+    __slots__ = (
+        "src_node",
+        "src_port",
+        "dst_node",
+        "dst_port",
+        "is_local",
+        "flits",
+        "credits",
+        "nacks",
+        "control",
+        "flit_traversals",
+        "_fwd_wake_set",
+        "_fwd_wake_node",
+        "_rev_wake_set",
+        "_rev_wake_node",
+    )
 
     def __init__(
         self,
@@ -141,6 +177,23 @@ class Link:
         self.control: DelayLine[ProbeSignal] = DelayLine(1)
         #: Flits sent over the link's lifetime (for utilization/energy).
         self.flit_traversals = 0
+        self._fwd_wake_set: Optional[Set[int]] = None
+        self._fwd_wake_node = -1
+        self._rev_wake_set: Optional[Set[int]] = None
+        self._rev_wake_node = -1
+
+    def wire_wakes(
+        self,
+        fwd_set: Optional[Set[int]],
+        fwd_node: int,
+        rev_set: Optional[Set[int]],
+        rev_node: int,
+    ) -> None:
+        """Attach the scheduler's wake sets (see class docstring)."""
+        self._fwd_wake_set = fwd_set
+        self._fwd_wake_node = fwd_node
+        self._rev_wake_set = rev_set
+        self._rev_wake_node = rev_node
 
     # -- forward ----------------------------------------------------------
 
@@ -155,12 +208,18 @@ class Link:
         flit.link_seq = seq
         self.flits.push(cycle, FlitTransfer(vc, seq, flit, corruption))
         self.flit_traversals += 1
+        wake = self._fwd_wake_set
+        if wake is not None:
+            wake.add(self._fwd_wake_node)
 
     def flit_arrivals(self, cycle: int) -> List[FlitTransfer]:
         return self.flits.pop_due(cycle)
 
     def send_probe(self, cycle: int, probe: ProbeSignal) -> None:
         self.control.push(cycle, probe)
+        wake = self._fwd_wake_set
+        if wake is not None:
+            wake.add(self._fwd_wake_node)
 
     def probe_arrivals(self, cycle: int) -> List[ProbeSignal]:
         return self.control.pop_due(cycle)
@@ -169,12 +228,18 @@ class Link:
 
     def send_credit(self, cycle: int, vc: int) -> None:
         self.credits.push(cycle, CreditSignal(vc))
+        wake = self._rev_wake_set
+        if wake is not None:
+            wake.add(self._rev_wake_node)
 
     def credit_arrivals(self, cycle: int) -> List[CreditSignal]:
         return self.credits.pop_due(cycle)
 
     def send_nack(self, cycle: int, nack: NackSignal) -> None:
         self.nacks.push(cycle, nack)
+        wake = self._rev_wake_set
+        if wake is not None:
+            wake.add(self._rev_wake_node)
 
     def nack_arrivals(self, cycle: int) -> List[NackSignal]:
         return self.nacks.pop_due(cycle)

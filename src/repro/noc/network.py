@@ -16,13 +16,22 @@ phase order:
 
 Because every channel is a 1-cycle delay line, the order of routers within
 a phase cannot change outcomes.
+
+Two implementations of the cycle loop exist.  The *full* loop polls every
+component every cycle.  The *activity-driven* loop (the default, selected
+by ``SimulationConfig.activity_driven``) maintains explicit active sets —
+routers holding flits or pending output, interfaces with queued packets,
+and per-cycle wake sets fed by the links — and only visits components that
+have work.  The two are bit-for-bit equivalent; the scheduling invariants
+that make the skip sound are documented in ``docs/PERFORMANCE.md`` and
+enforced by :meth:`Network.verify_activity_invariants`.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.config import SimulationConfig
 from repro.core.schemes import DeliveryAction, destination_policy
@@ -66,6 +75,10 @@ class NetworkInterface:
             self.pending.appendleft(packet)
         else:
             self.pending.append(packet)
+        # All packet arrivals funnel through here (fresh injections,
+        # E2E retransmissions, misdelivery re-forwards), so this is the one
+        # activation point the injection active set needs.
+        self.network._ni_tx_active.add(self.node)
 
     def inject(self, cycle: int) -> None:
         assert self.inj_link is not None
@@ -276,6 +289,20 @@ class Network:
             )
             for node in self.topology.nodes()
         ]
+        # Activity-driven scheduling state.  The two *pending* sets are
+        # cycle-scoped wake lists fed by the links (a push at cycle t lands
+        # the consumer here for cycle t+1, matching the 1-cycle channel
+        # latency exactly); the two *active* sets are sticky membership by
+        # state (a member stays until it is observed drained).  They are
+        # maintained unconditionally — cheap set adds — so a network can be
+        # switched between the loops and tests can assert the invariants
+        # even when running the full loop.
+        self._ni_rx_pending: Set[int] = set()
+        self._router_rx_pending: Set[int] = set()
+        self._ni_tx_active: Set[int] = set()
+        self._router_active: Set[int] = set()
+        self._activity_driven = config.activity_driven
+
         self.interfaces: List[NetworkInterface] = [
             NetworkInterface(node, self) for node in self.topology.nodes()
         ]
@@ -302,6 +329,13 @@ class Network:
                 neighbor = self.topology.neighbor(node, direction)
                 assert neighbor is not None
                 link = Link(node, direction, neighbor, direction.opposite)
+                # Forward traffic (flits, probes) is consumed by the
+                # neighbor's receive phase; reverse traffic (credits,
+                # NACKs) by this router's.
+                link.wire_wakes(
+                    self._router_rx_pending, neighbor,
+                    self._router_rx_pending, node,
+                )
                 self.links.append(link)
                 self.routers[node].attach_output_link(int(direction), link)
                 self.routers[neighbor].attach_input_link(
@@ -313,6 +347,15 @@ class Network:
         for node in self.topology.nodes():
             inj = Link(node, local, node, local, is_local=True)
             ej = Link(node, local, node, local, is_local=True)
+            # Injection flits wake the router; ejection flits wake the NI.
+            # Neither local link needs a reverse wake: the ejection channel
+            # never carries credits (the NI sinks flits immediately), and
+            # credits returning to the NI on the injection link are a pure
+            # accumulation the NI reads whenever it next has something to
+            # send — an NI with queued packets stays in the injection
+            # active set until drained, so it observes them on time.
+            inj.wire_wakes(self._router_rx_pending, node, None, -1)
+            ej.wire_wakes(self._ni_rx_pending, node, None, -1)
             self.links.extend((inj, ej))
             self.interfaces[node].inj_link = inj
             self.routers[node].attach_input_link(int(local), inj)
@@ -346,6 +389,18 @@ class Network:
     # -- the cycle loop ---------------------------------------------------------
 
     def step(self) -> None:
+        """Advance the whole system by one cycle.
+
+        Dispatches to the activity-driven loop (default) or the full
+        polling loop; both produce bit-for-bit identical runs.
+        """
+        if self._activity_driven:
+            self._step_active()
+        else:
+            self._step_full()
+
+    def _step_full(self) -> None:
+        """The reference loop: poll every component every cycle."""
         cycle = self.cycle
         for ni in self.interfaces:
             ni.receive(cycle)
@@ -362,6 +417,110 @@ class Network:
             self._sample_utilization()
         self.stats.cycles += 1
         self.cycle += 1
+
+    def _step_active(self) -> None:
+        """The activity-driven loop: visit only components with work.
+
+        Equivalence argument (details in ``docs/PERFORMANCE.md``): a
+        skipped component performs no state change and draws no fault-
+        injector randomness in the full loop, because every phase of
+        :class:`NetworkInterface` and :class:`Router` is a no-op without
+        link arrivals or buffered work.  Active components are visited in
+        ascending node order — the same order the full loop uses — so the
+        shared RNG stream, and therefore every injected fault, is
+        identical.  The one deliberate deferral is credit consumption by a
+        fully drained NI: credits accumulate on the injection link until
+        the NI next has a packet, and ``pop_due`` then delivers the same
+        total (credit arithmetic is order- and time-insensitive, and the
+        NI's credit path draws no randomness).
+        """
+        cycle = self.cycle
+        interfaces = self.interfaces
+        routers = self.routers
+
+        ni_rx = self._ni_rx_pending
+        if ni_rx:
+            todo = sorted(ni_rx)
+            ni_rx.clear()
+            for node in todo:
+                interfaces[node].receive(cycle)
+        self._run_due_events()
+
+        router_rx = self._router_rx_pending
+        active = self._router_active
+        if router_rx:
+            todo = sorted(router_rx)
+            router_rx.clear()
+            for node in todo:
+                routers[node].receive(cycle)
+                # Added unconditionally: compute on a traffic-less router
+                # (e.g. after a credit-only receive) is a free no-op, and
+                # the compute phase prunes it again — cheaper than probing
+                # buffer occupancy here.
+                active.add(node)
+
+        ni_tx = self._ni_tx_active
+        if ni_tx:
+            drained: List[int] = []
+            for node in sorted(ni_tx):
+                ni = interfaces[node]
+                ni.inject(cycle)
+                if ni.queued_packets == 0:
+                    drained.append(node)
+            if drained:
+                ni_tx.difference_update(drained)
+
+        sends = 0
+        if active:
+            quiescent: List[int] = []
+            for node in sorted(active):
+                router = routers[node]
+                sends += router.compute(cycle)
+                if not router.has_traffic:
+                    quiescent.append(node)
+            if quiescent:
+                active.difference_update(quiescent)
+
+        self._send_history.append(sends)
+        if self.config.collect_utilization:
+            self._sample_utilization()
+        self.stats.cycles += 1
+        self.cycle += 1
+
+    def verify_activity_invariants(self) -> None:
+        """Assert the active sets cover every component that has work.
+
+        Called between steps (tests, the equivalence suite).  Violations
+        mean the activity-driven loop could skip live work — exactly the
+        bug class the fast path must never exhibit.
+        """
+        for router in self.routers:
+            if router.has_traffic and router.node not in self._router_active:
+                raise AssertionError(
+                    f"router {router.node} has traffic but is not in the "
+                    "compute active set"
+                )
+        for ni in self.interfaces:
+            if ni.queued_packets and ni.node not in self._ni_tx_active:
+                raise AssertionError(
+                    f"NI {ni.node} has queued packets but is not in the "
+                    "injection active set"
+                )
+        for link in self.links:
+            if len(link.flits) or len(link.control):
+                wake_set = link._fwd_wake_set
+                if wake_set is not None and link._fwd_wake_node not in wake_set:
+                    raise AssertionError(
+                        f"{link!r} has in-flight forward traffic but its "
+                        "consumer is not in the receive wake set"
+                    )
+            if len(link.credits) or len(link.nacks):
+                wake_set = link._rev_wake_set
+                if wake_set is not None and link._rev_wake_node not in wake_set:
+                    raise AssertionError(
+                        f"{link!r} has in-flight reverse traffic but its "
+                        "consumer is not in the receive wake set"
+                    )
 
     def _sample_utilization(self) -> None:
         tx_occupied = sum(r.buffered_flits for r in self.routers)

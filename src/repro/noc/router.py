@@ -170,6 +170,15 @@ class Router:
         self._is_xy = config.routing is RoutingAlgorithm.XY
         self._is_source_routed = isinstance(routing_fn, SourceRouting)
         self._probe_hop_limit = 4 * topology.num_nodes
+        #: Cached routing decisions, keyed by the destination the header
+        #: carries: ``dst -> (Direction list, port-index list)``.  Only for
+        #: routing functions whose candidate set is a pure function of
+        #: (current node, destination) — see ``RoutingFunction.cacheable``.
+        #: The cached lists are never mutated (every consumer rebinds or
+        #: builds a fresh list), so sharing them across calls is safe.
+        self._route_cache: Optional[Dict[int, Tuple[List[Direction], List[int]]]] = (
+            {} if getattr(routing_fn, "cacheable", False) else None
+        )
 
     # ------------------------------------------------------------------
     # wiring (called by the Network)
@@ -565,8 +574,19 @@ class Router:
         return True
 
     def _route(self, cycle: int, ivc: InputVC, head: Flit) -> None:
-        directions = self.routing_fn.candidates(self.topology, self.node, head)
-        candidates = [int(d) for d in directions]
+        cache = self._route_cache
+        if cache is not None:
+            entry = cache.get(head.dst)
+            if entry is None:
+                directions = self.routing_fn.candidates(
+                    self.topology, self.node, head
+                )
+                entry = (directions, [int(d) for d in directions])
+                cache[head.dst] = entry
+            directions, candidates = entry
+        else:
+            directions = self.routing_fn.candidates(self.topology, self.node, head)
+            candidates = [int(d) for d in directions]
         self.stats.energy_event("rt_op")
         if self.injector.routing_upset(cycle, self.node):
             wrong = self.injector.misdirect(
@@ -988,8 +1008,12 @@ class Router:
 
     @property
     def has_traffic(self) -> bool:
-        if self.buffered_flits:
-            return True
+        # Hot on the activity-driven path (checked once per active router
+        # per cycle); short-circuits instead of summing full occupancies.
+        for port_vcs in self.inputs:
+            for ivc in port_vcs:
+                if not ivc.buffer.is_empty:
+                    return True
         for channels in self.outputs:
             for channel in channels:
                 if channel.has_pending_output:

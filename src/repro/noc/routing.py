@@ -27,7 +27,17 @@ from repro.types import Direction, RoutingAlgorithm
 
 
 class RoutingFunction(Protocol):
-    """Computes candidate output directions for a header flit."""
+    """Computes candidate output directions for a header flit.
+
+    Implementations whose candidate set is a pure function of
+    ``(current, flit.dst)`` set ``cacheable = True``; routers then memoize
+    the result in a per-node routing-decision table keyed by destination
+    (see :class:`repro.noc.router.Router`).  Functions that read any other
+    flit state (source routing consumes ``flit.source_route``) must leave
+    it False.
+    """
+
+    cacheable: bool = False
 
     def candidates(
         self, topology: MeshTopology, current: int, flit: Flit
@@ -38,6 +48,8 @@ class RoutingFunction(Protocol):
 
 class XYRouting:
     """Dimension-ordered routing: correct X first, then Y (deterministic)."""
+
+    cacheable = True
 
     def candidates(
         self, topology: MeshTopology, current: int, flit: Flit
@@ -64,6 +76,8 @@ class TorusXYRouting:
     dateline VC classes — or, here, the paper's deadlock recovery scheme.
     """
 
+    cacheable = True
+
     def candidates(
         self, topology: MeshTopology, current: int, flit: Flit
     ) -> List[Direction]:
@@ -87,6 +101,8 @@ class WestFirstRouting:
     among {E, N, S} may be chosen adaptively.
     """
 
+    cacheable = True
+
     def candidates(
         self, topology: MeshTopology, current: int, flit: Flit
     ) -> List[Direction]:
@@ -106,6 +122,8 @@ class FullyAdaptiveRouting:
     recovery scheme (Section 3.2) for forward progress.
     """
 
+    cacheable = True
+
     def candidates(
         self, topology: MeshTopology, current: int, flit: Flit
     ) -> List[Direction]:
@@ -119,8 +137,11 @@ class SourceRouting:
 
     Each header flit carries the remaining direction list; the RT unit pops
     one entry per hop.  Used to script deterministic scenarios such as the
-    Figure 10/11 deadlock configurations.
+    Figure 10/11 deadlock configurations.  Not cacheable: the candidate set
+    depends on per-flit route state, not on ``(current, dst)``.
     """
+
+    cacheable = False
 
     def candidates(
         self, topology: MeshTopology, current: int, flit: Flit

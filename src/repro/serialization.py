@@ -40,6 +40,7 @@ def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
         "collect_utilization": config.collect_utilization,
         "payload_ecc_check": config.payload_ecc_check,
         "invariant_checks": config.invariant_checks,
+        "activity_driven": config.activity_driven,
     }
 
 
@@ -64,6 +65,7 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
         collect_utilization=data.get("collect_utilization", False),
         payload_ecc_check=data.get("payload_ecc_check", False),
         invariant_checks=data.get("invariant_checks", False),
+        activity_driven=data.get("activity_driven", True),
     )
 
 

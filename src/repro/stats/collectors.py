@@ -6,33 +6,81 @@ warm-up window from the measurement window the same way the paper does
 the warm-up messages): latency samples, energy events and utilization
 samples recorded during warm-up are excluded from the reported averages.
 
-Counters are plain named integers; the counter names used across the
-code base are documented here so experiments can rely on them:
+Counters are plain named integers; every counter name used across the code
+base is documented here so experiments can rely on them.  The catalogue is
+kept in sync with the source mechanically: ``tests/test_counter_catalogue.py``
+parses this table and greps ``src/`` for counting call sites, failing if
+either side lists a name the other does not.
 
-=============================  ==============================================
-counter                        incremented when
-=============================  ==============================================
-``link_errors_corrected``      an HBH retransmission round or an in-place
-                               FEC correction recovers a link upset
-``rt_errors_corrected``        a misdirected header is caught (locally by the
-                               VA state check or remotely via a route-NACK)
-``sa_errors_corrected``        the AC unit invalidates an erroneous SA grant
-``va_errors_corrected``        the AC unit invalidates an erroneous VA grant
-``retransmission_rounds``      a NACK triggers a rollback/replay
-``flits_retransmitted``        each flit replayed from a retransmission buffer
-``flits_dropped``              receiver-side drops (corrupt or out-of-window)
-``packets_misrouted``          a packet reaches a wrong destination NI
-``packets_reforwarded``        a misdelivered packet is re-sent onward
-``packets_delivered_corrupt``  delivered with residual corruption
-``packets_lost``               undeliverable (AC-off ablations, give-ups)
-``e2e_retransmissions``        source retransmits a whole packet (E2E)
-``probes_sent``                Rule-1 probes launched
-``probes_discarded``           Rule-2 discards (no deadlock on that path)
-``deadlocks_detected``         probes returning to their origin
-``recovery_activations``       routers switching into recovery mode
-``recovery_forwards``          flits absorbed into retransmission buffers
-                               during recovery (the Figure 10 moves)
-=============================  ==============================================
+====================================  =========================================
+counter                               incremented when
+====================================  =========================================
+``link_errors_corrected``             an HBH retransmission round or an
+                                      in-place FEC correction recovers a link
+                                      upset
+``fec_corrections``                   an SEC decode corrects a single-bit link
+                                      upset in place (FEC scheme, no rollback)
+``rt_errors_corrected``               a misdirected header is caught (locally
+                                      by the VA state check or remotely via a
+                                      route-NACK)
+``sa_errors_corrected``               the AC unit invalidates an erroneous SA
+                                      grant
+``va_errors_corrected``               the AC unit invalidates an erroneous VA
+                                      grant
+``sa_misdirected_flits``              an undetected SA fault actually sends a
+                                      flit out the wrong port (AC-off
+                                      ablation)
+``retransmission_rounds``             a NACK triggers a rollback/replay
+``flits_retransmitted``               each flit replayed from a
+                                      retransmission buffer
+``stale_replay_flits_discarded``      a replay-queue flit is dropped because a
+                                      later rollback superseded it
+``retransmission_giveups``            the receiver accepts a corrupt flit
+                                      after ``max_nack_retries`` NACKs (the
+                                      Section 4.5 endless-loop escape hatch)
+``retx_buffer_restores``              a corrupted retransmission-buffer copy
+                                      is restored from its Section 4.5
+                                      duplicate
+``route_nacks_sent``                  a receiver NACKs a misrouted header back
+                                      for route recomputation (Section 4.2)
+``route_nack_rollbacks``              a route-NACK rolls the sender's output
+                                      channel back
+``route_nack_flits_restored``         each flit a route-NACK returns to the
+                                      sender's input pipeline for re-routing
+``route_nack_orphans``                a route-NACK arrives after the rolled-
+                                      back flits already left the buffer
+                                      window
+``flits_dropped``                     receiver-side drops (corrupt or
+                                      out-of-window)
+``flits_ejected``                     each flit delivered to a destination NI
+``packets_misrouted``                 a packet reaches a wrong destination NI
+``packets_reforwarded``               a misdelivered packet is re-sent onward
+``packets_delivered_corrupt``         delivered with residual corruption
+``packets_lost``                      undeliverable (AC-off ablations,
+                                      give-ups)
+``e2e_retransmissions``               source retransmits a whole packet (E2E)
+``payload_ecc_checks``                a destination verifies a flit's real
+                                      Hamming codeword (payload ECC mode)
+``payload_ecc_mismatches``            the bit-level decode class disagrees
+                                      with the symbolic corruption tag
+``probes_sent``                       Rule-1 probes launched
+``probes_discarded``                  Rule-2 discards (no deadlock on that
+                                      path)
+``probes_hop_limited``                a probe exceeds its hop limit and is
+                                      dropped
+``deadlocks_detected``                probes returning to their origin
+``deadlocks_resolved_before_recovery``  the suspected VC drains on its own
+                                      before recovery engages
+``recovery_activations``              routers switching into recovery mode
+``recovery_forwards``                 flits absorbed into retransmission
+                                      buffers during recovery (the Figure 10
+                                      moves)
+``handshake_glitches_masked``         TMR voting outvotes a glitched
+                                      handshake line (Section 4.6)
+``handshake_signals_lost``            a handshake glitch destroys a sample
+                                      (TMR-off ablation): a credit leaks or a
+                                      NACK is delayed
+====================================  =========================================
 """
 
 from __future__ import annotations

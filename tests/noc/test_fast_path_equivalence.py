@@ -1,0 +1,194 @@
+"""Bit-for-bit equivalence of the activity-driven cycle loop.
+
+The activity-driven fast path (``SimulationConfig.activity_driven``) must be
+a pure scheduling optimization: skipping idle components may never change
+*any* observable of a run.  Because the fault injector draws from one shared
+RNG stream, even a single extra or missing draw diverges every subsequent
+fault — so these tests compare full :class:`SimulationResult` serializations
+(every counter, latency, hop, energy event) between the two loops across
+routing algorithms, fault sites, deadlock recovery and protection schemes.
+
+They are the guard the flag exists for: any change to the hot path must keep
+this module green (see docs/PERFORMANCE.md).
+"""
+
+import pytest
+
+from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.noc.simulator import run_simulation
+from repro.noc.trace import PacketTracer
+from repro.serialization import result_to_dict
+from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
+
+ALL_SITES = {site: 0.002 for site in FaultSite}
+
+
+def _config(activity_driven, **kw):
+    noc = NoCConfig(
+        width=4,
+        height=4,
+        routing=kw.get("routing", RoutingAlgorithm.XY),
+        link_protection=kw.get("protection", LinkProtection.HBH),
+        deadlock_recovery_enabled=kw.get("deadlock_recovery", False),
+        deadlock_threshold=kw.get("deadlock_threshold", 32),
+        retx_buffer_depth=kw.get("retx_depth", 3),
+    )
+    return SimulationConfig(
+        noc=noc,
+        faults=FaultConfig(rates=kw.get("rates", {}), seed=kw.get("seed", 42)),
+        workload=WorkloadConfig(
+            injection_rate=kw.get("rate", 0.05),
+            num_messages=kw.get("messages", 120),
+            warmup_messages=20,
+            max_cycles=50_000,
+        ),
+        activity_driven=activity_driven,
+        invariant_checks=kw.get("invariant_checks", False),
+    )
+
+
+def _observables(config):
+    """Everything a run reports, minus the config echo."""
+    result = result_to_dict(run_simulation(config))
+    result.pop("config")
+    return result
+
+
+def assert_equivalent(**kw):
+    fast = _observables(_config(True, **kw))
+    full = _observables(_config(False, **kw))
+    assert fast == full
+
+
+SCENARIOS = {
+    "xy_fault_free": dict(),
+    "xy_link_faults": dict(rates={FaultSite.LINK: 0.01}),
+    "west_first_all_fault_sites": dict(
+        routing=RoutingAlgorithm.WEST_FIRST, rates=ALL_SITES
+    ),
+    "adaptive_deadlock_recovery": dict(
+        routing=RoutingAlgorithm.FULLY_ADAPTIVE,
+        deadlock_recovery=True,
+        deadlock_threshold=16,
+        retx_depth=8,
+        rates={FaultSite.LINK: 0.005},
+        rate=0.30,
+        messages=200,
+    ),
+    "e2e_protection": dict(
+        protection=LinkProtection.E2E, rates={FaultSite.LINK: 0.01}
+    ),
+    "fec_protection": dict(
+        protection=LinkProtection.FEC, rates={FaultSite.LINK: 0.01}
+    ),
+    "xy_all_sites_alt_seed": dict(rates=ALL_SITES, seed=7, rate=0.15),
+}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fast_path_is_bit_for_bit_equivalent(scenario):
+    assert_equivalent(**SCENARIOS[scenario])
+
+
+def test_equivalence_holds_under_invariant_sanitizer():
+    """The SIM10x sanitizer sees identical legal state on both loops."""
+    assert_equivalent(
+        rates={FaultSite.LINK: 0.01}, invariant_checks=True, messages=60
+    )
+
+
+def test_idle_components_are_actually_skipped(monkeypatch):
+    """On an empty mesh the fast path must not poll a single router."""
+    from repro.noc import router as router_mod
+
+    calls = {"compute": 0, "receive": 0}
+    real_compute = router_mod.Router.compute
+    real_receive = router_mod.Router.receive
+
+    def counting_compute(self, cycle):
+        calls["compute"] += 1
+        return real_compute(self, cycle)
+
+    def counting_receive(self, cycle):
+        calls["receive"] += 1
+        return real_receive(self, cycle)
+
+    monkeypatch.setattr(router_mod.Router, "compute", counting_compute)
+    monkeypatch.setattr(router_mod.Router, "receive", counting_receive)
+
+    net = Network(SimulationConfig(noc=NoCConfig(width=4, height=4)))
+    for _ in range(100):
+        net.step()
+    assert calls == {"compute": 0, "receive": 0}
+
+    # The full loop polls every router every cycle — the baseline the fast
+    # path removes.
+    net_full = Network(
+        SimulationConfig(noc=NoCConfig(width=4, height=4), activity_driven=False)
+    )
+    for _ in range(100):
+        net_full.step()
+    assert calls["compute"] == 100 * 16
+
+
+def test_activity_invariants_hold_every_cycle():
+    """Active sets always cover live work, even under heavy faults."""
+    config = _config(
+        True,
+        routing=RoutingAlgorithm.FULLY_ADAPTIVE,
+        deadlock_recovery=True,
+        deadlock_threshold=16,
+        retx_depth=8,
+        rates=ALL_SITES,
+        rate=0.25,
+    )
+    net = Network(config)
+    import random
+
+    rng = random.Random(3)
+    pid = 0
+    for node in range(16):
+        for _ in range(4):
+            dst = rng.randrange(15)
+            dst = dst if dst < node else dst + 1
+            net.interfaces[node].enqueue(Packet(pid, node, dst, 4, 0))
+            pid += 1
+    for _ in range(600):
+        net.step()
+        net.verify_activity_invariants()
+    assert net.completed > 0
+
+
+def test_packet_tracer_sees_identical_itineraries():
+    """PacketTracer rides on ``network.step()`` unchanged on both loops."""
+
+    def traced_itinerary(activity_driven):
+        net = Network(
+            SimulationConfig(
+                noc=NoCConfig(width=4, height=4),
+                activity_driven=activity_driven,
+            )
+        )
+        net.interfaces[0].enqueue(Packet(0, 0, 15, 4, 0))
+        net.interfaces[5].enqueue(Packet(1, 5, 2, 4, 0))
+        tracer = PacketTracer(net, watch=[0, 1])
+        assert tracer.run_until_delivered(2) is not None
+        return [
+            [
+                (s.cycle, s.flit_seq, s.location)
+                for s in tracer.trace(pid).sightings
+            ]
+            for pid in (0, 1)
+        ]
+
+    assert traced_itinerary(True) == traced_itinerary(False)
+
+
+def test_serialization_round_trips_the_flag():
+    from repro.serialization import config_from_dict, config_to_dict
+
+    for flag in (True, False):
+        config = SimulationConfig(activity_driven=flag)
+        assert config_from_dict(config_to_dict(config)).activity_driven is flag

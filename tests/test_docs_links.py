@@ -1,0 +1,56 @@
+"""The documentation link graph stays intact.
+
+Wraps ``tools/check_docs_links.py`` so the docs link-check runs with the
+normal test suite (CI also invokes the tool directly).
+"""
+
+import importlib.util
+import pathlib
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs_links",
+    pathlib.Path(__file__).resolve().parent.parent / "tools" / "check_docs_links.py",
+)
+check_docs_links = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs_links)
+
+
+def test_documentation_set_is_discovered():
+    names = {p.name for p in check_docs_links.doc_files()}
+    assert {"README.md", "ARCHITECTURE.md", "PERFORMANCE.md"} <= names
+
+
+def test_no_broken_links_or_anchors():
+    problems = check_docs_links.check_all()
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_catches_breakage(tmp_path, monkeypatch):
+    """The checker is not vacuously green: a planted broken link fails."""
+    monkeypatch.setattr(check_docs_links, "REPO_ROOT", tmp_path)
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "# Title\n"
+        "[ok](doc.md) [missing](nope.md) [bad anchor](#absent)\n"
+        "[escape](../outside.md)\n"
+        "```\n[inside a code fence, ignored](also-missing.md)\n```\n"
+    )
+    problems = check_docs_links.check_file(doc)
+    assert len(problems) == 3
+    assert any("nope.md" in p for p in problems)
+    assert any("#absent" in p for p in problems)
+    assert any("escapes" in p for p in problems)
+
+
+def test_github_slugs():
+    seen = {}
+    assert check_docs_links.github_slug("Static analysis & linting", seen) == (
+        "static-analysis--linting"
+    )
+    assert check_docs_links.github_slug("The `code` heading", {}) == (
+        "the-code-heading"
+    )
+    # Duplicate headings get numbered suffixes.
+    assert check_docs_links.github_slug("Static analysis & linting", seen) == (
+        "static-analysis--linting-1"
+    )

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Record the simulator's cycles/second trajectory in ``BENCH_simulator.json``.
+
+Measures each workload point from :mod:`benchmarks.workloads` (idle, loaded,
+saturation) under both cycle loops — the activity-driven fast path and the
+full polling loop — and appends one record to the JSON trajectory file, so
+the repo carries its own performance history across PRs.
+
+Usage::
+
+    PYTHONPATH=src:. python tools/bench_record.py [--label "PR 2"]
+    PYTHONPATH=src:. python tools/bench_record.py --check
+
+``--check`` additionally enforces the regression floors of ISSUE 2 /
+docs/PERFORMANCE.md on the freshly measured numbers:
+
+* idle mesh: activity-driven must be at least ``--min-idle-speedup`` (2x)
+  faster than the full loop;
+* saturation: activity-driven must not fall below ``--max-sat-regression``
+  (0.8x) of the full loop's throughput.
+
+Exits non-zero when a floor is violated, so CI can gate on it.
+
+File schema (list of records, oldest first)::
+
+    [
+      {
+        "timestamp": "2026-08-07T12:00:00+00:00",
+        "label": "PR 2",
+        "git_rev": "abc1234",
+        "cycles_per_second": {
+          "idle":       {"activity_driven": 3.1e6, "full": 1.4e3},
+          "loaded":     {"activity_driven": ..., "full": ...},
+          "saturation": {"activity_driven": ..., "full": ...}
+        }
+      },
+      ...
+    ]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.workloads import WORKLOADS, measure_cycles_per_second  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simulator.json"
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def measure(rounds: int) -> dict:
+    points = {}
+    for workload in WORKLOADS:
+        points[workload] = {
+            "activity_driven": round(
+                measure_cycles_per_second(workload, True, rounds=rounds), 1
+            ),
+            "full": round(
+                measure_cycles_per_second(workload, False, rounds=rounds), 1
+            ),
+        }
+        print(
+            f"{workload:>10}: fast {points[workload]['activity_driven']:>12,.0f}"
+            f"  full {points[workload]['full']:>12,.0f} cycles/s",
+            file=sys.stderr,
+        )
+    return points
+
+
+def check_floors(
+    points: dict, min_idle_speedup: float, max_sat_regression: float
+) -> list:
+    failures = []
+    idle = points["idle"]
+    speedup = idle["activity_driven"] / idle["full"]
+    if speedup < min_idle_speedup:
+        failures.append(
+            f"idle-mesh speedup {speedup:.2f}x is below the "
+            f"{min_idle_speedup:.1f}x floor"
+        )
+    sat = points["saturation"]
+    ratio = sat["activity_driven"] / sat["full"]
+    if ratio < max_sat_regression:
+        failures.append(
+            f"saturation throughput ratio {ratio:.2f}x is below the "
+            f"{max_sat_regression:.1f}x no-regression floor"
+        )
+    return failures
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"trajectory file to append to (default {DEFAULT_OUTPUT.name})",
+    )
+    parser.add_argument("--label", default="", help="free-form record label")
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="timing rounds per point, best-of (default 3)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="enforce the speedup/regression floors; exit 1 on violation",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="measure (and --check) without writing the trajectory file",
+    )
+    parser.add_argument("--min-idle-speedup", type=float, default=2.0)
+    parser.add_argument("--max-sat-regression", type=float, default=0.8)
+    args = parser.parse_args(argv)
+
+    points = measure(args.rounds)
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "label": args.label,
+        "git_rev": git_rev(),
+        "cycles_per_second": points,
+    }
+
+    if not args.no_append:
+        history = []
+        if args.output.exists():
+            history = json.loads(args.output.read_text())
+        history.append(record)
+        args.output.write_text(json.dumps(history, indent=2) + "\n")
+        print(f"appended record {len(history)} to {args.output}", file=sys.stderr)
+
+    if args.check:
+        failures = check_floors(
+            points, args.min_idle_speedup, args.max_sat_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("all performance floors hold", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
