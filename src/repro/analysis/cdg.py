@@ -92,8 +92,12 @@ class ChannelDependencyGraph:
                 "a property of the packets, not of the network"
             )
         graph = cls(topology, num_vcs)
+        port_aware = getattr(routing_fn, "port_aware", False)
         for dst in topology.nodes():
-            graph._trace_destination(routing_fn, dst)
+            if port_aware:
+                graph._trace_destination_port_aware(routing_fn, dst)
+            else:
+                graph._trace_destination(routing_fn, dst)
         return graph
 
     def _trace_destination(self, routing_fn: RoutingFunction, dst: int) -> None:
@@ -129,6 +133,56 @@ class ChannelDependencyGraph:
         while frontier:
             held = frontier.pop()
             for direction in candidates[held.dst]:
+                requested = self._channel(held.dst, direction)
+                self._edges.setdefault(requested, set())
+                self._edges[held].add(requested)
+                if requested not in visited:
+                    visited.add(requested)
+                    frontier.append(requested)
+
+    def _trace_destination_port_aware(
+        self, routing_fn: RoutingFunction, dst: int
+    ) -> None:
+        """Port-aware variant of :meth:`_trace_destination`.
+
+        A port-aware routing function (``FaultAwareRouting``) restricts the
+        legal out-directions by the arrival port, so candidates depend on the
+        *held channel*, not just on the node.  The traversal therefore queries
+        ``candidates_from`` with the held channel's arrival port — injection
+        uses the LOCAL port — and only records the turns the tables actually
+        permit.  This is exactly what certifies the reconfigured routing on a
+        degraded topology: the graph contains one vertex per surviving channel
+        the tables use and one edge per legal turn.
+        """
+        topology = self.topology
+        visited: Set[Channel] = set()
+        frontier: List[Channel] = []
+
+        def legal(node: int, in_port: Direction) -> List[Direction]:
+            dirs = routing_fn.candidates_from(  # type: ignore[attr-defined]
+                topology, node, in_port, _probe_header(node, dst)
+            )
+            return [
+                d
+                for d in dirs
+                if d is not Direction.LOCAL
+                and topology.neighbor(node, d) is not None
+            ]
+
+        for src in topology.nodes():
+            if src == dst:
+                continue
+            for direction in legal(src, Direction.LOCAL):
+                channel = self._channel(src, direction)
+                self._edges.setdefault(channel, set())
+                if channel not in visited:
+                    visited.add(channel)
+                    frontier.append(channel)
+        while frontier:
+            held = frontier.pop()
+            if held.dst == dst:
+                continue
+            for direction in legal(held.dst, held.direction.opposite):
                 requested = self._channel(held.dst, direction)
                 self._edges.setdefault(requested, set())
                 self._edges[held].add(requested)

@@ -31,19 +31,32 @@ from repro.noc.topology import MeshTopology, TorusTopology
 from repro.serialization import config_from_dict, config_to_dict
 from repro.types import RoutingAlgorithm
 
-#: (topology name, width, height, routing value) -> verdict.
-_CDG_CACHE: Dict[Tuple[str, int, int, str], CDGVerdict] = {}
+#: (topology name, width, height, routing value, permanent schedule) -> verdict.
+_CDG_CACHE: Dict[Tuple[object, ...], CDGVerdict] = {}
 
 
 def cdg_verdict_for(config: SimulationConfig) -> Optional[CDGVerdict]:
     """The (memoized) CDG verdict for a config's platform.
 
     Returns None for source routing, which has no static routing relation.
+    When the config schedules permanent faults, the verdict covers the
+    *fully degraded* topology — every scheduled link/router death applied —
+    under the fault-aware table routing the simulator will substitute, so a
+    clean verdict certifies the reconfigured routing deadlock-free.
     """
+    from repro.noc.routing import FaultAwareRouting
+
     noc = config.noc
     if noc.routing is RoutingAlgorithm.SOURCE:
         return None
-    key = (noc.topology, noc.width, noc.height, noc.routing.value)
+    schedule = config.faults.permanent
+    key: Tuple[object, ...] = (
+        noc.topology,
+        noc.width,
+        noc.height,
+        noc.routing.value,
+        schedule,
+    )
     verdict = _CDG_CACHE.get(key)
     if verdict is None:
         if noc.topology == "torus":
@@ -51,6 +64,29 @@ def cdg_verdict_for(config: SimulationConfig) -> Optional[CDGVerdict]:
         else:
             topology = MeshTopology(noc.width, noc.height)
         routing_fn = resolve_routing_function(noc.routing, topology)
+        if schedule and noc.routing in (
+            RoutingAlgorithm.XY,
+            RoutingAlgorithm.FT_TABLE,
+        ):
+            # Mirror Network.__init__: these platforms run fault-aware
+            # table routing, so verify what will actually execute once the
+            # whole schedule has taken effect.
+            if not isinstance(routing_fn, FaultAwareRouting):
+                routing_fn = FaultAwareRouting(topology)
+            dead_links = {
+                (f.node, f.direction)
+                for f in schedule
+                if f.kind == "link" and f.direction is not None
+            }
+            if noc.num_vcs == 1:
+                # A dead VC is the whole link when it is the only VC.
+                dead_links |= {
+                    (f.node, f.direction)
+                    for f in schedule
+                    if f.kind == "vc" and f.direction is not None
+                }
+            dead_routers = {f.node for f in schedule if f.kind == "router"}
+            routing_fn.rebuild(dead_links, dead_routers)
         verdict = verify_deadlock_freedom(topology, routing_fn, noc.num_vcs)
         _CDG_CACHE[key] = verdict
     return verdict

@@ -433,3 +433,28 @@ def _noc012_ac_unit(ctx: LintContext) -> Iterable[Diagnostic]:
         ),
         hint="intentional for the ablation; otherwise enable ac_unit_enabled",
     )
+
+
+@rule("NOC013", "permanent faults need a routing function that can reroute")
+def _noc013_permanent_routing(ctx: LintContext) -> Iterable[Diagnostic]:
+    cfg = ctx.config
+    if cfg is None or not cfg.faults.permanent:
+        return
+    if cfg.noc.routing in (
+        RoutingAlgorithm.XY,
+        RoutingAlgorithm.FT_TABLE,
+        RoutingAlgorithm.SOURCE,
+    ):
+        # XY is substituted with fault-aware table routing at run time;
+        # source-routed packets carry their own (caller-chosen) paths.
+        return
+    yield Diagnostic(
+        rule_id="NOC013",
+        severity=Severity.WARNING,
+        message=(
+            f"a permanent-fault schedule is configured but routing "
+            f"'{cfg.noc.routing.value}' cannot reroute around dead "
+            "components: packets whose paths cross them will be dropped"
+        ),
+        hint="use xy or ft_table routing for fault-aware rerouting",
+    )

@@ -123,6 +123,7 @@ class InvariantSanitizer:
             counters.get("flits_dropped", 0)
             + counters.get("flits_ejected", 0)
             + counters.get("stale_replay_flits_discarded", 0)
+            + counters.get("permanent_fault_flits_dropped", 0)
         )
         expected = inflow - outflow
         if in_network == expected:
@@ -145,6 +146,8 @@ class InvariantSanitizer:
                     "route-nack restored = "
                     f"{counters.get('route_nack_flits_restored', 0)}",
                     f"dropped = {counters.get('flits_dropped', 0)}",
+                    "permanent-fault dropped = "
+                    f"{counters.get('permanent_fault_flits_dropped', 0)}",
                     f"ejected = {counters.get('flits_ejected', 0)}",
                 ),
             )

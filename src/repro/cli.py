@@ -10,6 +10,9 @@ Commands:
 * ``sweep`` — latency vs injection rate (saturation curves) for a routing
   algorithm, the standard NoC characterization the paper's Figures 8/9
   build on.
+* ``degrade`` — the graceful-degradation campaign: progressively kill
+  random links (the last one mid-run) under fault-aware table routing and
+  report the delivery-rate / latency-inflation / reconvergence curve.
 * ``lint`` — the static NoC linter: check JSON config files (or a config
   assembled from the same flags ``run`` takes) against the ``NOC0xx`` rule
   catalogue and the channel-dependency-graph deadlock-freedom verifier.
@@ -73,6 +76,27 @@ def _add_platform_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rt-error-rate", type=float, default=0.0)
     parser.add_argument("--va-error-rate", type=float, default=0.0)
     parser.add_argument("--sa-error-rate", type=float, default=0.0)
+    parser.add_argument(
+        "--dead-link",
+        action="append",
+        default=[],
+        metavar="NODE:DIR[@CYCLE]",
+        help="permanently kill a link (repeatable), e.g. 12:east@500",
+    )
+    parser.add_argument(
+        "--dead-router",
+        action="append",
+        default=[],
+        metavar="NODE[@CYCLE]",
+        help="permanently kill a router and all its links (repeatable)",
+    )
+    parser.add_argument(
+        "--dead-vc",
+        action="append",
+        default=[],
+        metavar="NODE:DIR:VC[@CYCLE]",
+        help="permanently kill one input VC buffer (repeatable)",
+    )
 
 
 def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
@@ -84,6 +108,29 @@ def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=int, default=400)
     parser.add_argument("--max-cycles", type=int, default=200_000)
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _permanent_dicts(args: argparse.Namespace) -> List[Dict[str, Any]]:
+    """Parse the ``--dead-*`` specs into serialized permanent faults."""
+    from repro.faults.permanent import (
+        PermanentFaultSchedule,
+        parse_link_spec,
+        parse_router_spec,
+        parse_vc_spec,
+    )
+
+    faults = []
+    try:
+        for spec in args.dead_link:
+            faults.append(parse_link_spec(spec))
+        for spec in args.dead_router:
+            faults.append(parse_router_spec(spec))
+        for spec in args.dead_vc:
+            faults.append(parse_vc_spec(spec))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return PermanentFaultSchedule.of(*faults).to_dicts()
 
 
 def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
@@ -118,6 +165,7 @@ def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
             "rates": rates,
             "link_multi_bit_fraction": args.multi_bit_fraction,
             "seed": args.seed,
+            "permanent": _permanent_dicts(args),
         },
         "workload": {
             "pattern": args.pattern,
@@ -188,6 +236,36 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--no-chart", action="store_true")
 
     sub.add_parser("table1", help="the AC-unit overhead table")
+
+    degrade = sub.add_parser(
+        "degrade",
+        help="graceful-degradation campaign: progressive random link kills",
+        description=(
+            "Kill 0..N randomly chosen links (the last one mid-run) on a "
+            "mesh running fault-aware table routing and report delivery "
+            "rate, reachable-pair fraction, latency inflation and "
+            "reconvergence time per kill level."
+        ),
+    )
+    degrade.add_argument("--width", type=int, default=8)
+    degrade.add_argument("--height", type=int, default=8)
+    degrade.add_argument(
+        "--kills", type=int, default=8, help="maximum number of dead links"
+    )
+    degrade.add_argument("--rate", type=float, default=0.1, help="flits/node/cycle")
+    degrade.add_argument(
+        "--inject-cycles", type=int, default=1500, help="injection window length"
+    )
+    degrade.add_argument("--seed", type=int, default=17)
+    degrade.add_argument(
+        "--invariant-checks",
+        action="store_true",
+        help="run the per-cycle invariant sanitizer during the campaign",
+    )
+    degrade.add_argument(
+        "--json", action="store_true", help="emit the curve as JSON"
+    )
+    degrade.add_argument("--no-chart", action="store_true")
 
     sweep = sub.add_parser("sweep", help="latency vs injection rate")
     sweep.add_argument(
@@ -336,6 +414,67 @@ def _cmd_table1() -> int:
     return 0
 
 
+def _cmd_degrade(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    from repro.experiments.degradation import run_degradation
+
+    points = run_degradation(
+        width=args.width,
+        height=args.height,
+        max_kills=args.kills,
+        injection_rate=args.rate,
+        inject_cycles=args.inject_cycles,
+        seed=args.seed,
+        invariant_checks=args.invariant_checks,
+    )
+    if args.json:
+        print(json.dumps([_dc.asdict(p) for p in points], indent=2))
+        return 0
+    rows = [
+        [
+            p.kills,
+            f"{p.delivery_rate:.4f}",
+            f"{p.reachable_fraction:.4f}",
+            f"{p.avg_latency:.2f}",
+            f"{p.latency_inflation:.3f}",
+            p.reconvergence_cycles,
+            p.packets_lost,
+        ]
+        for p in points
+    ]
+    print(
+        render_comparison_table(
+            [
+                "dead links",
+                "delivery",
+                "reachable",
+                "latency",
+                "inflation",
+                "reconv (cyc)",
+                "lost",
+            ],
+            rows,
+            f"Graceful degradation — {args.width}x{args.height} mesh, "
+            f"fault-aware table routing (seed {args.seed})",
+        )
+    )
+    if not args.no_chart:
+        xs = [float(p.kills) for p in points]
+        print()
+        print(
+            render_series(
+                "delivery rate & latency inflation vs dead links",
+                xs,
+                {
+                    "delivery": [p.delivery_rate for p in points],
+                    "inflation": [p.latency_inflation for p in points],
+                },
+            )
+        )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.noc.simulator import run_simulation
 
@@ -375,6 +514,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_figure(args)
         if args.command == "table1":
             return _cmd_table1()
+        if args.command == "degrade":
+            return _cmd_degrade(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
     except BrokenPipeError:

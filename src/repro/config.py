@@ -22,6 +22,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
+from repro.faults.permanent import PermanentFaultSchedule
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
 
 #: Number of physical channels of a mesh router (N, E, S, W, LOCAL).
@@ -191,13 +192,26 @@ class FaultConfig:
     error affects more than one bit (and thus escapes SEC correction); the
     paper argues double errors are "not insignificant due to crosstalk" but
     still rare.
+
+    ``permanent`` schedules hard faults — links/routers/VC buffers that die
+    at a given cycle and stay dead (:mod:`repro.faults.permanent`).  These
+    are deterministic (no RNG involvement), so the transient seed stream is
+    unaffected by their presence.
     """
 
     rates: Mapping[FaultSite, float] = field(default_factory=dict)
     link_multi_bit_fraction: float = 0.1
     seed: int = 1
+    permanent: PermanentFaultSchedule = field(
+        default_factory=PermanentFaultSchedule.empty
+    )
 
     def __post_init__(self) -> None:
+        if not isinstance(self.permanent, PermanentFaultSchedule):
+            raise TypeError(
+                "permanent must be a PermanentFaultSchedule, "
+                f"got {type(self.permanent).__name__}"
+            )
         for site, rate in self.rates.items():
             if not isinstance(site, FaultSite):
                 raise TypeError(f"fault site must be a FaultSite, got {site!r}")

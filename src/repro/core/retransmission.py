@@ -136,12 +136,16 @@ class OutputChannel:
         "retx",
         "replay_queue",
         "absorption_queue",
+        "dead",
     )
 
     def __init__(self, port: int, vc: int, depth: int, duplicate: bool = False):
         self.port = port
         self.vc = vc
         self.credits = 0  # set by the router once the downstream depth is known
+        #: Permanently failed (downstream VC buffer or link died); masked
+        #: out of VA so no new wormhole can claim this channel.
+        self.dead = False
         self.allocated_to: Optional[Tuple[int, int]] = None
         self.last_owner: Optional[Tuple[int, int]] = None
         self.next_seq = 0

@@ -1,0 +1,196 @@
+"""Graceful-degradation campaign: progressive random link kills.
+
+The experiment behind ``repro degrade``: on a mesh running fault-aware
+table routing (:class:`repro.noc.routing.FaultAwareRouting`), kill an
+increasing number of randomly chosen unidirectional links and measure how
+service degrades:
+
+* **delivery rate** — packets delivered / packets injected (the NI refuses
+  packets whose destination became unreachable; those count against the
+  rate);
+* **reachable-pair fraction** — the fraction of (src, dst) pairs the
+  reconfigured routing tables can still serve;
+* **latency inflation** — mean delivered-packet latency relative to the
+  healthy (0-kill) network, capturing the detour cost of rerouting;
+* **time to reconvergence** — at each level the *last* link dies mid-run;
+  this is how many cycles it takes the network to finish every packet that
+  was already in flight or queued when the topology changed (lower is
+  better; the healthy level reports 0).
+
+Each level ``k`` kills the first ``k`` links of one seed-shuffled ordering,
+so level ``k`` is always level ``k-1`` plus one more dead link — a
+progressive decay of a single unlucky chip rather than independent random
+topologies per level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
+from repro.noc.routing import FaultAwareRouting
+from repro.noc.simulator import Simulator
+from repro.noc.topology import MeshTopology
+from repro.types import Direction, RoutingAlgorithm
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """Measured service level with ``kills`` dead links."""
+
+    kills: int
+    packets_injected: int
+    packets_delivered: int
+    packets_lost: int
+    delivery_rate: float
+    reachable_fraction: float
+    avg_latency: float
+    latency_inflation: float
+    reconvergence_cycles: int
+    hit_cycle_limit: bool
+
+
+def mesh_links(width: int, height: int) -> List[Tuple[int, Direction]]:
+    """Every unidirectional inter-router link of a ``width x height`` mesh."""
+    topology = MeshTopology(width, height)
+    return [
+        (node, direction)
+        for node in topology.nodes()
+        for direction in topology.connected_directions(node)
+        if direction is not Direction.LOCAL
+    ]
+
+
+def _schedule_for_level(
+    kill_order: List[Tuple[int, Direction]], kills: int, late_cycle: int
+) -> PermanentFaultSchedule:
+    """Levels kill a prefix of ``kill_order``; the last death is mid-run."""
+    faults = [
+        PermanentFault("link", node, direction)
+        for node, direction in kill_order[: max(kills - 1, 0)]
+    ]
+    if kills:
+        node, direction = kill_order[kills - 1]
+        faults.append(PermanentFault("link", node, direction, cycle=late_cycle))
+    return PermanentFaultSchedule.of(*faults)
+
+
+def _run_level(
+    config: SimulationConfig,
+    inject_cycles: int,
+    late_cycle: Optional[int],
+    drain_cycles: int,
+) -> Tuple[Simulator, int, bool]:
+    """Drive one level: inject, then drain every outstanding packet.
+
+    Returns the simulator (for stats and the reconfigured routing
+    function), the reconvergence time, and whether the drain timed out.
+    """
+    sim = Simulator(config)
+    network = sim.network
+    network.stats.start_measurement()
+    injected_at_kill: Optional[int] = None
+    reconverged_at: Optional[int] = None
+    deadline = inject_cycles + drain_cycles
+    hit_limit = False
+    while True:
+        cycle = network.cycle
+        if cycle == late_cycle:
+            injected_at_kill = network.stats.packets_injected
+        if cycle < inject_cycles:
+            sim._generate_traffic(cycle)
+        elif network.completed >= network.stats.packets_injected:
+            break
+        elif cycle >= deadline:
+            hit_limit = True
+            break
+        network.step()
+        if sim.sanitizer is not None:
+            sim.sanitizer.check()
+        if (
+            reconverged_at is None
+            and injected_at_kill is not None
+            and network.completed >= injected_at_kill
+        ):
+            # Everything that predated the mid-run kill has now reached a
+            # final outcome: the disruption is fully absorbed.
+            reconverged_at = network.cycle
+    if late_cycle is None or injected_at_kill is None or reconverged_at is None:
+        reconvergence = drain_cycles if (hit_limit and late_cycle is not None) else 0
+    else:
+        reconvergence = max(reconverged_at - late_cycle, 0)
+    return sim, reconvergence, hit_limit
+
+
+def run_degradation(
+    width: int = 8,
+    height: int = 8,
+    max_kills: int = 8,
+    injection_rate: float = 0.1,
+    inject_cycles: int = 1500,
+    drain_cycles: int = 20_000,
+    seed: int = 17,
+    invariant_checks: bool = False,
+) -> List[DegradationPoint]:
+    """The full campaign: one :class:`DegradationPoint` per kill level."""
+    if max_kills < 0:
+        raise ValueError("max_kills must be non-negative")
+    kill_order = mesh_links(width, height)
+    random.Random(seed).shuffle(kill_order)
+    if max_kills > len(kill_order):
+        raise ValueError(
+            f"cannot kill {max_kills} links; the mesh only has {len(kill_order)}"
+        )
+    late_cycle = inject_cycles // 2
+    points: List[DegradationPoint] = []
+    healthy_latency: Optional[float] = None
+    for kills in range(max_kills + 1):
+        schedule = _schedule_for_level(kill_order, kills, late_cycle)
+        config = SimulationConfig(
+            noc=NoCConfig(
+                width=width, height=height, routing=RoutingAlgorithm.FT_TABLE
+            ),
+            faults=dataclasses.replace(
+                FaultConfig.fault_free(), permanent=schedule
+            ),
+            workload=WorkloadConfig(
+                injection_rate=injection_rate,
+                num_messages=1,  # unused: the level loop drives cycles itself
+                max_cycles=inject_cycles + drain_cycles,
+                warmup_messages=0,
+                seed=seed,
+            ),
+            invariant_checks=invariant_checks,
+        )
+        sim, reconvergence, hit_limit = _run_level(
+            config, inject_cycles, late_cycle if kills else None, drain_cycles
+        )
+        network = sim.network
+        stats = network.stats
+        injected = stats.packets_injected
+        latency = stats.latency.mean
+        if healthy_latency is None:
+            healthy_latency = latency
+        routing_fn = network.routing_fn
+        assert isinstance(routing_fn, FaultAwareRouting)
+        points.append(
+            DegradationPoint(
+                kills=kills,
+                packets_injected=injected,
+                packets_delivered=network.delivered,
+                packets_lost=network.lost,
+                delivery_rate=(network.delivered / injected) if injected else 1.0,
+                reachable_fraction=routing_fn.reachable_fraction(),
+                avg_latency=latency,
+                latency_inflation=(
+                    latency / healthy_latency if healthy_latency else 1.0
+                ),
+                reconvergence_cycles=reconvergence,
+                hit_cycle_limit=hit_limit,
+            )
+        )
+    return points

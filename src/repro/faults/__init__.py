@@ -8,9 +8,20 @@ routers and on the inter-router links").
 Injection is *behavioural* — it perturbs decisions and tags flits — and
 detection elsewhere in the system uses only information the hardware would
 have, never the injector's ground truth.
+
+Permanent (hard) faults live in :mod:`repro.faults.permanent`: a
+:class:`PermanentFaultSchedule` of links/routers/VC buffers that die at a
+given cycle, applied by the network and rerouted around.
 """
 
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultEvent, FaultLog
+from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 
-__all__ = ["FaultEvent", "FaultInjector", "FaultLog"]
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "PermanentFault",
+    "PermanentFaultSchedule",
+]

@@ -23,11 +23,13 @@ method              called per
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.config import FaultConfig
 from repro.faults.models import FaultLog
 from repro.types import Corruption, Direction, FaultSite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config -> faults)
+    from repro.config import FaultConfig
 
 
 class FaultInjector:

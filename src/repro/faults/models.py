@@ -32,12 +32,18 @@ class FaultLog:
         self.counts: Dict[FaultSite, int] = {site: 0 for site in FaultSite}
         self.log_events = log_events
         self._events: Deque[FaultEvent] = deque(maxlen=max_events)
+        #: Events silently evicted from the bounded trace.  Campaign-length
+        #: runs overflow ``max_events`` routinely; consumers can check this
+        #: to learn the trace is a suffix, not the whole history.
+        self.dropped_events = 0
 
     def record(
         self, site: FaultSite, cycle: int, node: int, detail: str = ""
     ) -> None:
         self.counts[site] += 1
         if self.log_events:
+            if len(self._events) == self._events.maxlen:
+                self.dropped_events += 1
             self._events.append(FaultEvent(site, cycle, node, detail))
 
     @property

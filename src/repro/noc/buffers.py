@@ -14,7 +14,7 @@ in the retransmission-buffer slots and are muxed back via Figure 3's
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, Optional
+from typing import Deque, Iterable, List, Optional
 
 from repro.noc.flit import Flit
 
@@ -99,6 +99,23 @@ class VCBuffer:
         dropped = self.total_flits
         self._fifo.clear()
         self.rollback_queue.clear()
+        return dropped
+
+    def drop_cut_suffix(self) -> "List[Flit]":
+        """Drop buffered flits after the last tail, in arrival order.
+
+        Used when the feeding link dies: runs that end in a tail are
+        complete packets and stay deliverable, while anything after the
+        last tail is the prefix of a packet whose remaining flits can never
+        arrive.  Returns the dropped flits (oldest first).
+        """
+        dropped: List[Flit] = []
+        while self._fifo and not self._fifo[-1].is_tail:
+            dropped.append(self._fifo.pop())
+        if not self._fifo:
+            while self.rollback_queue and not self.rollback_queue[-1].is_tail:
+                dropped.append(self.rollback_queue.pop())
+        dropped.reverse()
         return dropped
 
     def __len__(self) -> int:

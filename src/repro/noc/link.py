@@ -66,6 +66,12 @@ class DelayLine(Generic[T]):
         """All in-flight items (used by drain checks and tests)."""
         return [item for _, item in self._queue]
 
+    def clear(self) -> int:
+        """Discard all in-flight items, returning how many were dropped."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
     def __len__(self) -> int:
         return len(self._queue)
 
@@ -152,6 +158,7 @@ class Link:
         "nacks",
         "control",
         "flit_traversals",
+        "dead",
         "_fwd_wake_set",
         "_fwd_wake_node",
         "_rev_wake_set",
@@ -177,6 +184,8 @@ class Link:
         self.control: DelayLine[ProbeSignal] = DelayLine(1)
         #: Flits sent over the link's lifetime (for utilization/energy).
         self.flit_traversals = 0
+        #: Permanently failed: all channels silently drop (see :meth:`kill`).
+        self.dead = False
         self._fwd_wake_set: Optional[Set[int]] = None
         self._fwd_wake_node = -1
         self._rev_wake_set: Optional[Set[int]] = None
@@ -205,6 +214,8 @@ class Link:
         flit: Flit,
         corruption: Corruption = Corruption.NONE,
     ) -> None:
+        if self.dead:
+            return
         flit.link_seq = seq
         self.flits.push(cycle, FlitTransfer(vc, seq, flit, corruption))
         self.flit_traversals += 1
@@ -216,6 +227,8 @@ class Link:
         return self.flits.pop_due(cycle)
 
     def send_probe(self, cycle: int, probe: ProbeSignal) -> None:
+        if self.dead:
+            return
         self.control.push(cycle, probe)
         wake = self._fwd_wake_set
         if wake is not None:
@@ -227,6 +240,8 @@ class Link:
     # -- reverse ----------------------------------------------------------
 
     def send_credit(self, cycle: int, vc: int) -> None:
+        if self.dead:
+            return
         self.credits.push(cycle, CreditSignal(vc))
         wake = self._rev_wake_set
         if wake is not None:
@@ -236,6 +251,8 @@ class Link:
         return self.credits.pop_due(cycle)
 
     def send_nack(self, cycle: int, nack: NackSignal) -> None:
+        if self.dead:
+            return
         self.nacks.push(cycle, nack)
         wake = self._rev_wake_set
         if wake is not None:
@@ -243,6 +260,23 @@ class Link:
 
     def nack_arrivals(self, cycle: int) -> List[NackSignal]:
         return self.nacks.pop_due(cycle)
+
+    def kill(self) -> int:
+        """Permanently fail the link.
+
+        All four channels are flushed (a hard open drops whatever was on
+        the wire) and every later send becomes a silent no-op — the flit is
+        never delivered and never wakes the consumer.  Returns the number
+        of *forward flits* that were in flight and lost, so the caller can
+        account them (reverse-channel signals vanish without accounting:
+        the dead link's flow-control state is torn down anyway).
+        """
+        self.dead = True
+        lost_flits = self.flits.clear()
+        self.credits.clear()
+        self.nacks.clear()
+        self.control.clear()
+        return lost_flits
 
     @property
     def is_idle(self) -> bool:

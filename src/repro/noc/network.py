@@ -36,11 +36,12 @@ from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 from repro.config import SimulationConfig
 from repro.core.schemes import DeliveryAction, destination_policy
 from repro.faults.injector import FaultInjector
+from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 from repro.noc.flit import Flit
 from repro.noc.link import Link
 from repro.noc.packet import Packet, PacketReassembler
 from repro.noc.router import Router
-from repro.noc.routing import resolve_routing_function
+from repro.noc.routing import FaultAwareRouting, resolve_routing_function
 from repro.noc.topology import MeshTopology
 from repro.stats.collectors import StatsCollector
 from repro.types import Corruption, Direction, LinkProtection, RoutingAlgorithm
@@ -67,10 +68,17 @@ class NetworkInterface:
         self.e2e_copy_high_water = 0
         self.inj_link: Optional[Link] = None
         self.ej_link: Optional[Link] = None
+        #: Set when the local router permanently fails: the NI can neither
+        #: inject nor receive (its local links die with the router).
+        self.dead = False
 
     # -- source side -------------------------------------------------------
 
     def enqueue(self, packet: Packet, priority: bool = False) -> None:
+        if self.dead:
+            self.stats.count("packets_unroutable")
+            self.network.note_packet_casualty(packet.packet_id)
+            return
         if priority:
             self.pending.appendleft(packet)
         else:
@@ -81,9 +89,21 @@ class NetworkInterface:
         self.network._ni_tx_active.add(self.node)
 
     def inject(self, cycle: int) -> None:
+        if self.dead:
+            return
         assert self.inj_link is not None
         for credit in self.inj_link.credit_arrivals(cycle):
             self._credits[credit.vc] += 1
+        if self.network.degraded and self.pending:
+            # Undeliverable-destination detection: refuse packets the
+            # reconfigured tables cannot route rather than wedging a VC.
+            net = self.network
+            while self.pending and not net.is_reachable(
+                self.node, self.pending[0].dst
+            ):
+                packet = self.pending.popleft()
+                self.stats.count("packets_unroutable")
+                net.note_packet_casualty(packet.packet_id)
         V = self.config.num_vcs
         # Continue an in-flight wormhole first (avoids starving packets that
         # already hold router resources), round-robin across VCs.
@@ -134,6 +154,26 @@ class NetworkInterface:
     def release(self, packet_id: int) -> None:
         """E2E: the destination's ACK arrived; drop the source copy."""
         self.e2e_copies.pop(packet_id, None)
+
+    def on_router_dead(self) -> None:
+        """The local router died: tear down everything the NI holds."""
+        self.dead = True
+        net = self.network
+        for packet in self.pending:
+            self.stats.count("packets_unroutable")
+            net.note_packet_casualty(packet.packet_id)
+        self.pending.clear()
+        for vc, stream in enumerate(self._streams):
+            if stream:
+                # The already-injected prefix was flushed with the router;
+                # the unsent remainder was never counted as inflow.
+                net.note_packet_casualty(stream[0].packet_id)
+                self._streams[vc] = None
+        for pid in self.reassembler.incomplete_ids():
+            dropped = self.reassembler.drop(pid)
+            if dropped:
+                self.stats.count("permanent_fault_flits_dropped", dropped)
+            net.note_packet_casualty(pid)
 
     @property
     def queued_packets(self) -> int:
@@ -249,6 +289,30 @@ class Network:
         self.stats = StatsCollector()
         self.injector = FaultInjector(config.faults)
         routing_fn = resolve_routing_function(noc.routing, self.topology)
+        schedule = config.faults.permanent
+        if schedule:
+            self._validate_schedule(schedule)
+            if noc.routing in (RoutingAlgorithm.XY, RoutingAlgorithm.FT_TABLE):
+                # XY cannot route around dead components; substitute the
+                # fault-aware table routing (identical fault-free latency —
+                # its up*/down* orientation yields minimal paths on a
+                # healthy mesh) so the schedule is actually survivable.
+                if not isinstance(routing_fn, FaultAwareRouting):
+                    routing_fn = FaultAwareRouting(self.topology)
+            elif noc.routing is not RoutingAlgorithm.SOURCE:
+                import warnings
+
+                warnings.warn(
+                    "NOC013: a permanent-fault schedule is configured but "
+                    f"{noc.routing.value} routing cannot reroute around "
+                    "dead components; packets whose paths cross them will "
+                    "be dropped (use xy or ft_table routing for "
+                    "fault-aware rerouting)",
+                    stacklevel=2,
+                )
+        #: The routing function every router shares; a FaultAwareRouting
+        #: instance here is rebuilt on each permanent-fault event.
+        self.routing_fn = routing_fn
         if (
             noc.topology == "torus"
             and noc.routing is RoutingAlgorithm.XY
@@ -307,6 +371,8 @@ class Network:
             NetworkInterface(node, self) for node in self.topology.nodes()
         ]
         self.links: List[Link] = []
+        #: Mesh links by ``(src_node, src_port)`` for fault application.
+        self._link_map: Dict[Tuple[int, Direction], Link] = {}
         self._wire_mesh()
         self._wire_local()
 
@@ -320,6 +386,27 @@ class Network:
         )
         self._retx_capacity = sum(r.retx_capacity for r in self.routers)
         self._tx_capacity = sum(r.buffer_capacity for r in self.routers)
+
+        # Permanent-fault lifecycle state.
+        for router in self.routers:
+            router.casualty_hook = self.note_packet_casualty
+        self._dead_links: Set[Tuple[int, Direction]] = set()
+        self._dead_routers: Set[int] = set()
+        #: Packets destroyed by permanent faults, deduplicated so each is
+        #: counted lost exactly once however many of its flits die.
+        self._lost_packets: Set[int] = set()
+        #: True once any permanent fault is scheduled: enables the NI-side
+        #: reachability filter (zero overhead on fault-free platforms).
+        self.degraded = bool(schedule)
+        self._pending_faults: List[PermanentFault] = (
+            schedule.sorted_by_cycle() if schedule else []
+        )
+        self._fault_index = 0
+        self._next_fault_cycle: Optional[int] = None
+        self._advance_fault_cursor()
+        if self._next_fault_cycle == 0:
+            # Dead-on-arrival components: applied before any flit moves.
+            self._apply_due_faults()
 
     # -- wiring ---------------------------------------------------------------
 
@@ -337,6 +424,7 @@ class Network:
                     self._router_rx_pending, node,
                 )
                 self.links.append(link)
+                self._link_map[(node, direction)] = link
                 self.routers[node].attach_output_link(int(direction), link)
                 self.routers[neighbor].attach_input_link(
                     int(direction.opposite), link
@@ -373,6 +461,172 @@ class Network:
             _, _, action = heapq.heappop(self._events)
             action()
 
+    # -- permanent faults -------------------------------------------------------
+
+    def _validate_schedule(self, schedule: PermanentFaultSchedule) -> None:
+        num_nodes = self.topology.num_nodes
+        for fault in schedule:
+            if fault.node >= num_nodes:
+                raise ValueError(
+                    f"permanent fault names node {fault.node} but the "
+                    f"topology has {num_nodes} nodes"
+                )
+            if fault.kind in ("link", "vc"):
+                assert fault.direction is not None
+                if fault.direction not in self.topology.connected_directions(
+                    fault.node
+                ):
+                    raise ValueError(
+                        f"permanent fault names link "
+                        f"{fault.node}:{fault.direction.name.lower()} "
+                        "but no such link exists in this topology"
+                    )
+            if fault.kind == "vc":
+                assert fault.vc is not None
+                if fault.vc >= self.config.noc.num_vcs:
+                    raise ValueError(
+                        f"permanent fault names VC {fault.vc} but the "
+                        f"platform has {self.config.noc.num_vcs} VCs"
+                    )
+
+    def _advance_fault_cursor(self) -> None:
+        if self._fault_index < len(self._pending_faults):
+            self._next_fault_cycle = max(
+                self._pending_faults[self._fault_index].cycle, 0
+            )
+        else:
+            self._next_fault_cycle = None
+
+    def _apply_due_faults(self) -> None:
+        """Apply every fault scheduled at or before the current cycle, then
+        reconfigure routing once.  Runs at the top of :meth:`step` —
+        identically ahead of both cycle loops — and draws no randomness, so
+        the fast path stays bit-for-bit equivalent to the polling loop."""
+        applied = False
+        while (
+            self._next_fault_cycle is not None
+            and self._next_fault_cycle <= self.cycle
+        ):
+            fault = self._pending_faults[self._fault_index]
+            self._fault_index += 1
+            self._advance_fault_cursor()
+            self._apply_fault(fault)
+            applied = True
+        if applied:
+            self._reconfigure_routing()
+
+    def _apply_fault(self, fault: PermanentFault) -> None:
+        self.stats.count("permanent_faults_applied")
+        if fault.kind == "link":
+            assert fault.direction is not None
+            self._kill_link(fault.node, fault.direction)
+        elif fault.kind == "router":
+            self._kill_router(fault.node)
+        else:
+            assert fault.direction is not None and fault.vc is not None
+            self._kill_vc(fault.node, fault.direction, fault.vc)
+
+    def _account_lost_flits(self, lost: List[Flit]) -> None:
+        if not lost:
+            return
+        self.stats.count("permanent_fault_flits_dropped", len(lost))
+        for flit in lost:
+            self.note_packet_casualty(flit.packet_id)
+
+    def _kill_link(self, node: int, direction: Direction) -> None:
+        key = (node, direction)
+        if key in self._dead_links:
+            return
+        self._dead_links.add(key)
+        link = self._link_map[key]
+        lost: List[Flit] = [t.flit for t in link.flits.peek_pending()]
+        link.kill()
+        src_router = self.routers[link.src_node]
+        dst_router = self.routers[link.dst_node]
+        if not src_router.dead:
+            lost.extend(src_router.on_output_dead(self.cycle, int(direction)))
+        if not dst_router.dead:
+            lost.extend(
+                dst_router.on_input_dead(self.cycle, int(link.dst_port))
+            )
+        self._account_lost_flits(lost)
+
+    def _kill_router(self, node: int) -> None:
+        if node in self._dead_routers:
+            return
+        self._dead_routers.add(node)
+        # Every mesh link touching the router dies with it (each tears down
+        # the wormholes crossing it at the surviving endpoint) ...
+        for direction in self.topology.connected_directions(node):
+            self._kill_link(node, direction)
+            neighbor = self.topology.neighbor(node, direction)
+            if neighbor is not None:
+                self._kill_link(neighbor, direction.opposite)
+        # ... as do the local links and the NI behind them.
+        ni = self.interfaces[node]
+        lost: List[Flit] = []
+        for local_link in (ni.inj_link, ni.ej_link):
+            if local_link is not None:
+                lost.extend(t.flit for t in local_link.flits.peek_pending())
+                local_link.kill()
+        lost.extend(self.routers[node].on_router_dead(self.cycle))
+        ni.on_router_dead()
+        self._account_lost_flits(lost)
+
+    def _kill_vc(self, node: int, direction: Direction, vc: int) -> None:
+        """Kill one VC buffer: the input VC fed by the link leaving
+        ``node`` through ``direction``, together with the upstream output
+        channel that targets it.  The link itself survives (its other VCs
+        keep flowing) unless this was its last living VC."""
+        lost: List[Flit] = []
+        src_router = self.routers[node]
+        if not src_router.dead:
+            lost.extend(
+                src_router._kill_output_channel(self.cycle, int(direction), vc)
+            )
+        neighbor = self.topology.neighbor(node, direction)
+        if neighbor is not None and not self.routers[neighbor].dead:
+            lost.extend(
+                self.routers[neighbor].on_vc_dead(
+                    self.cycle, int(direction.opposite), vc
+                )
+            )
+        self._account_lost_flits(lost)
+        if (node, direction) not in self._dead_links and all(
+            channel.dead for channel in src_router.outputs[int(direction)]
+        ):
+            # Last VC gone: the channel is useless; kill the link so the
+            # routing tables stop steering packets into it.
+            self._kill_link(node, direction)
+
+    def _reconfigure_routing(self) -> None:
+        """Rebuild fault-aware tables and flush every router's memoized
+        routing decisions (the PR-2 caches) after a topology change."""
+        fn = self.routing_fn
+        if isinstance(fn, FaultAwareRouting):
+            fn.rebuild(self._dead_links, self._dead_routers)
+            self.stats.count("reroute_recomputations")
+        for router in self.routers:
+            if not router.dead:
+                router.invalidate_route_cache()
+
+    def is_reachable(self, src: int, dst: int) -> bool:
+        """Whether the current routing can deliver ``src -> dst``."""
+        fn = self.routing_fn
+        if isinstance(fn, FaultAwareRouting):
+            return fn.is_reachable(src, dst)
+        return dst not in self._dead_routers and src not in self._dead_routers
+
+    def note_packet_casualty(self, packet_id: int) -> None:
+        """A permanent fault destroyed (part of) this packet: under
+        tail-based reassembly it can never complete, so it is counted lost
+        — exactly once, however many of its flits die."""
+        if packet_id in self._lost_packets:
+            return
+        self._lost_packets.add(packet_id)
+        self.stats.count("packets_lost")
+        self.note_lost()
+
     # -- delivery accounting ----------------------------------------------------
 
     def note_delivered(self) -> None:
@@ -394,6 +648,9 @@ class Network:
         Dispatches to the activity-driven loop (default) or the full
         polling loop; both produce bit-for-bit identical runs.
         """
+        next_fault = self._next_fault_cycle
+        if next_fault is not None and next_fault <= self.cycle:
+            self._apply_due_faults()
         if self._activity_driven:
             self._step_active()
         else:

@@ -22,7 +22,7 @@ outcome class) — never the injector's ground truth.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.config import NoCConfig
 from repro.core.allocation_comparator import AllocationComparator
@@ -71,6 +71,9 @@ class InputVC:
         "rt_cycle",
         "va_cycle",
         "sent_this_cycle",
+        "dead",
+        "drain_until_head",
+        "last_head_packet_id",
     )
 
     def __init__(self, port: int, vc: int, depth: int):
@@ -87,6 +90,15 @@ class InputVC:
         self.rt_cycle = -1
         self.va_cycle = -1
         self.sent_this_cycle = False
+        #: Permanently failed buffer: arrivals vanish (no credit, no NACK).
+        self.dead = False
+        #: An unroutable packet was torn down here: discard its remaining
+        #: in-flight flits until the next header arrives (see
+        #: ``Router._drop_unroutable``).
+        self.drain_until_head = False
+        #: Packet id of the last accepted header — lets teardown register a
+        #: casualty even when every buffered flit was already forwarded.
+        self.last_head_packet_id = -1
 
     def reset_pipeline(self) -> None:
         self.state = VCState.IDLE
@@ -167,16 +179,29 @@ class Router:
         self._va_delay = 1 if stages >= 3 else 0
         self._sa_delay = 1 if stages == 4 else 0
         self._is_hbh = config.link_protection is LinkProtection.HBH
-        self._is_xy = config.routing is RoutingAlgorithm.XY
+        self._is_port_aware = getattr(routing_fn, "port_aware", False)
+        # The Section 4.2 receiver-side XY turn check only applies when the
+        # network really runs plain XY — under fault-aware table routing
+        # (substituted when permanent faults are scheduled) legal paths may
+        # violate XY minimality, so the check must stand down.
+        self._is_xy = (
+            config.routing is RoutingAlgorithm.XY and not self._is_port_aware
+        )
         self._is_source_routed = isinstance(routing_fn, SourceRouting)
         self._probe_hop_limit = 4 * topology.num_nodes
-        #: Cached routing decisions, keyed by the destination the header
-        #: carries: ``dst -> (Direction list, port-index list)``.  Only for
-        #: routing functions whose candidate set is a pure function of
-        #: (current node, destination) — see ``RoutingFunction.cacheable``.
-        #: The cached lists are never mutated (every consumer rebinds or
-        #: builds a fresh list), so sharing them across calls is safe.
-        self._route_cache: Optional[Dict[int, Tuple[List[Direction], List[int]]]] = (
+        #: Permanently failed (the whole router died); receive/compute are
+        #: no-ops so both cycle loops skip it identically.
+        self.dead = False
+        #: Called with a packet id when a permanent fault destroys one of
+        #: its flits; wired by the Network to ``note_packet_casualty``.
+        self.casualty_hook: Optional[Callable[[int], None]] = None
+        #: Cached routing decisions: ``dst -> (Direction list, port-index
+        #: list)``, keyed ``(in_port, dst)`` for port-aware functions.  Only
+        #: for routing functions whose candidate set is a pure function of
+        #: the key — see ``RoutingFunction.cacheable``.  The cached lists
+        #: are never mutated (every consumer rebinds or builds a fresh
+        #: list), so sharing them across calls is safe.
+        self._route_cache: Optional[Dict[object, Tuple[List[Direction], List[int]]]] = (
             {} if getattr(routing_fn, "cacheable", False) else None
         )
 
@@ -200,6 +225,8 @@ class Router:
     # ------------------------------------------------------------------
 
     def receive(self, cycle: int) -> None:
+        if self.dead:
+            return
         self._receive_reverse_signals(cycle)
         self._receive_probes(cycle)
         self._receive_flits(cycle)
@@ -363,6 +390,31 @@ class Router:
         flit: Flit = transfer.flit
         corruption: Corruption = transfer.corruption
 
+        if ivc.dead:
+            # Arrivals into a permanently failed buffer vanish: no credit
+            # (the upstream channel is torn down with it) and no NACK.
+            self.stats.count("permanent_fault_flits_dropped")
+            if self.casualty_hook is not None:
+                self.casualty_hook(flit.packet_id)
+            return
+
+        if ivc.drain_until_head and not flit.is_head:
+            # Straggler flits of a packet torn down by a permanent fault:
+            # consume them (advancing the sequence window) and hand the
+            # buffer slot straight back — they never occupy it.  Headers
+            # fall through to normal processing; the drain flag only clears
+            # once one is actually accepted, so a corrupt header that gets
+            # NACKed and replayed is still handled correctly.
+            if transfer.seq == ivc.expected_seq:
+                ivc.expected_seq += 1
+                ivc.nack_retries = 0
+                self.stats.count("permanent_fault_flits_dropped")
+                if not link.dead:
+                    link.send_credit(cycle, transfer.vc)
+            else:
+                self.stats.count("flits_dropped")
+            return
+
         if self._is_hbh:
             if corruption is Corruption.SINGLE:
                 # The SEC stage corrects single-bit upsets in place.
@@ -398,6 +450,9 @@ class Router:
         ivc.expected_seq += 1
         ivc.nack_retries = 0
         ivc.buffer.push(flit)
+        if flit.is_head:
+            ivc.last_head_packet_id = flit.packet_id
+            ivc.drain_until_head = False
         self.stats.energy_event("buffer_write")
 
     def _materialize_corruption(self, flit: Flit, severity: Corruption) -> Flit:
@@ -423,6 +478,8 @@ class Router:
 
     def compute(self, cycle: int) -> int:
         """Run the pipeline for one cycle; returns link sends (for stats)."""
+        if self.dead:
+            return 0
         # One scan builds the working set; every stage iterates only VCs
         # that actually hold flits (the common case is an idle VC).
         occupied = [
@@ -481,6 +538,14 @@ class Router:
         extra_corruption: Corruption = Corruption.NONE,
     ) -> None:
         """Drive one flit onto a link, maintaining the replay window."""
+        if link.dead:
+            # Backstop for wormholes torn down mid-flight by a permanent
+            # fault: anything still driven at a dead link is lost on the
+            # wire (the teardown in ``on_output_dead`` makes this rare).
+            self.stats.count("permanent_fault_flits_dropped")
+            if self.casualty_hook is not None:
+                self.casualty_hook(flit.packet_id)
+            return
         corruption = extra_corruption
         copy_corrupt = False
         if retransmit:
@@ -575,19 +640,24 @@ class Router:
 
     def _route(self, cycle: int, ivc: InputVC, head: Flit) -> None:
         cache = self._route_cache
+        key: object = (ivc.port, head.dst) if self._is_port_aware else head.dst
         if cache is not None:
-            entry = cache.get(head.dst)
+            entry = cache.get(key)
             if entry is None:
-                directions = self.routing_fn.candidates(
-                    self.topology, self.node, head
-                )
+                directions = self._compute_candidates(ivc, head)
                 entry = (directions, [int(d) for d in directions])
-                cache[head.dst] = entry
+                cache[key] = entry
             directions, candidates = entry
         else:
-            directions = self.routing_fn.candidates(self.topology, self.node, head)
+            directions = self._compute_candidates(ivc, head)
             candidates = [int(d) for d in directions]
         self.stats.energy_event("rt_op")
+        if self._is_port_aware and not candidates:
+            # The fault-aware tables have no legal continuation for this
+            # packet (destination unreachable, or every turn-legal channel
+            # died after it entered the network): tear it down.
+            self._drop_unroutable(cycle, ivc, head)
+            return
         if self.injector.routing_upset(cycle, self.node):
             wrong = self.injector.misdirect(
                 directions, [Direction(p) for p in range(self.config.num_ports)]
@@ -605,6 +675,23 @@ class Router:
         ivc.candidates = usable
         ivc.state = VCState.WAITING_VA
         ivc.rt_cycle = cycle
+
+    def _compute_candidates(self, ivc: InputVC, head: Flit) -> List[Direction]:
+        if self._is_port_aware:
+            return self.routing_fn.candidates_from(  # type: ignore[attr-defined]
+                self.topology, self.node, Direction(ivc.port), head
+            )
+        return self.routing_fn.candidates(self.topology, self.node, head)
+
+    def _drop_unroutable(self, cycle: int, ivc: InputVC, head: Flit) -> None:
+        """Tear down a packet the reconfigured tables cannot deliver."""
+        self.stats.count("packets_unroutable")
+        dropped = self._flush_input_vc(cycle, ivc, credit=True)
+        self.stats.count("permanent_fault_flits_dropped", len(dropped))
+        if not any(f.is_tail for f in dropped):
+            ivc.drain_until_head = True
+        if self.casualty_hook is not None:
+            self.casualty_hook(head.packet_id)
 
     # -- VA stage -------------------------------------------------------------
 
@@ -637,7 +724,10 @@ class Router:
             for p in range(self.config.num_ports)
             for v in range(V)
         }
-        available = {out: not taken for out, taken in reserved.items()}
+        available = {
+            out: not taken and not self.outputs[out[0]][out[1]].dead
+            for out, taken in reserved.items()
+        }
         grants = self.va.allocate(requests, available)
         if not grants:
             return
@@ -959,6 +1049,135 @@ class Router:
                     sends += 1
                 self.stats.count("sa_misdirected_flits")
         return sends
+
+    # -- permanent-fault teardown ------------------------------------------
+
+    def invalidate_route_cache(self) -> None:
+        """Discard memoized routing decisions after a reconfiguration.
+
+        Headers already routed but not yet granted a VC re-enter the RT
+        stage so they route against the rebuilt tables — their snapshot
+        candidate lists may point at channels that no longer exist.
+        """
+        if self._route_cache is not None:
+            self._route_cache.clear()
+        for port_vcs in self.inputs:
+            for ivc in port_vcs:
+                if ivc.state is VCState.WAITING_VA:
+                    ivc.state = VCState.ROUTING
+                    ivc.candidates = None
+
+    def _flush_input_vc(
+        self, cycle: int, ivc: InputVC, credit: bool
+    ) -> List[Flit]:
+        """Drop everything buffered in ``ivc`` and reset its pipeline.
+
+        With ``credit=True`` each dropped FIFO slot is handed back to the
+        upstream sender (if its link is still alive) — otherwise the
+        upstream channel starves and never drains.  Rollback-queue flits
+        were never credited and never are.  Returns the dropped flits for
+        the caller's accounting.
+        """
+        flits = list(ivc.buffer)
+        if flits:
+            fifo_count = ivc.buffer.occupancy
+            ivc.buffer.clear()
+            in_link = self.in_links[ivc.port]
+            if credit and fifo_count and in_link is not None and not in_link.dead:
+                for _ in range(fifo_count):
+                    in_link.send_credit(cycle, ivc.vc)
+        channel = self._channel_of(ivc)
+        if channel is not None and channel.allocated_to == ivc.key:
+            channel.release()
+        ivc.reset_pipeline()
+        return flits
+
+    def _kill_output_channel(self, cycle: int, port: int, vc: int) -> List[Flit]:
+        """Permanently fail one output channel, tearing down the wormhole
+        that holds it.  Returns every flit destroyed in the process."""
+        channel = self.outputs[port][vc]
+        channel.dead = True
+        lost: List[Flit] = [f for _, f in channel.replay_queue]
+        channel.replay_queue.clear()
+        lost.extend(channel.absorption_queue)
+        channel.absorption_queue.clear()
+        owner = channel.allocated_to
+        if owner is not None:
+            ivc = self.inputs[owner[0]][owner[1]]
+            if ivc.state is VCState.ACTIVE and (ivc.out_port, ivc.out_vc) == (
+                port,
+                vc,
+            ):
+                lost.extend(self._flush_input_vc(cycle, ivc, credit=True))
+                ivc.drain_until_head = True
+                if self.casualty_hook is not None and ivc.last_head_packet_id >= 0:
+                    self.casualty_hook(ivc.last_head_packet_id)
+            channel.release()
+        return lost
+
+    def on_output_dead(self, cycle: int, port: int) -> List[Flit]:
+        """The link leaving ``port`` died: kill every channel crossing it."""
+        lost: List[Flit] = []
+        for vc in range(self.config.num_vcs):
+            lost.extend(self._kill_output_channel(cycle, port, vc))
+        return lost
+
+    def on_input_dead(self, cycle: int, port: int) -> List[Flit]:
+        """The link feeding ``port`` died.
+
+        Buffered flit runs that already include their tail are complete and
+        still deliverable; anything after the last buffered tail is the
+        prefix of a packet whose remaining flits can never arrive, so it is
+        dropped.  A wormhole cut mid-packet leaves its downstream channel
+        allocated forever — releasing it would let a fresh header splice
+        into the dangling downstream segment — so the leak is kept and
+        counted (``wormholes_orphaned``).
+        """
+        lost: List[Flit] = []
+        for ivc in self.inputs[port]:
+            dropped = ivc.buffer.drop_cut_suffix()
+            lost.extend(dropped)
+            if ivc.state is VCState.ACTIVE:
+                if not any(f.is_tail for f in ivc.buffer):
+                    self.stats.count("wormholes_orphaned")
+                    if self.casualty_hook is not None and ivc.last_head_packet_id >= 0:
+                        self.casualty_hook(ivc.last_head_packet_id)
+            elif ivc.buffer.is_empty:
+                ivc.reset_pipeline()
+        return lost
+
+    def on_vc_dead(self, cycle: int, port: int, vc: int) -> List[Flit]:
+        """One input VC buffer died: its content is destroyed and future
+        arrivals vanish (the upstream output channel dies with it)."""
+        ivc = self.inputs[port][vc]
+        ivc.dead = True
+        was_active = ivc.state is VCState.ACTIVE
+        flits = list(ivc.buffer)
+        ivc.buffer.clear()
+        if was_active:
+            # Mid-wormhole: the downstream segment dangles.  The input VC
+            # stays ACTIVE and keeps its output channel allocated — nothing
+            # may splice a fresh header into the dangling segment — so the
+            # leak is deliberate and counted.
+            self.stats.count("wormholes_orphaned")
+            if self.casualty_hook is not None and ivc.last_head_packet_id >= 0:
+                self.casualty_hook(ivc.last_head_packet_id)
+        else:
+            ivc.reset_pipeline()
+        return flits
+
+    def on_router_dead(self, cycle: int) -> List[Flit]:
+        """The whole router died: every buffer and channel goes with it."""
+        self.dead = True
+        lost: List[Flit] = []
+        for port in range(self.config.num_ports):
+            for vc in range(self.config.num_vcs):
+                lost.extend(self._kill_output_channel(cycle, port, vc))
+        for port_vcs in self.inputs:
+            for ivc in port_vcs:
+                ivc.dead = True
+                lost.extend(self._flush_input_vc(cycle, ivc, credit=False))
+        return lost
 
     # -- bookkeeping -------------------------------------------------------
 

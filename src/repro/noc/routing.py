@@ -19,7 +19,8 @@ travelling in Y).
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Protocol, Set, Tuple
 
 from repro.noc.flit import Flit
 from repro.noc.topology import MeshTopology
@@ -38,6 +39,13 @@ class RoutingFunction(Protocol):
     """
 
     cacheable: bool = False
+
+    #: Port-aware functions route on ``(current, in_port, dst)`` rather than
+    #: ``(current, dst)`` — the extra input lets turn-model table routing
+    #: (up*/down*) know which channel the packet currently holds.  Routers
+    #: call :meth:`FaultAwareRouting.candidates_from` for these and key
+    #: their decision caches by ``(in_port, dst)``.
+    port_aware: bool = False
 
     def candidates(
         self, topology: MeshTopology, current: int, flit: Flit
@@ -158,6 +166,234 @@ class SourceRouting:
             flit.source_route.pop(0)
 
 
+#: A directed channel: the link leaving ``node`` through ``direction``.
+_Chan = Tuple[int, Direction]
+
+
+class FaultAwareRouting:
+    """Fault-aware table routing: up*/down* over the surviving links.
+
+    The table is rebuilt (:meth:`rebuild`) on every permanent-fault event
+    from the set of surviving directed channels:
+
+    1. **Orientation.**  An undirected *both-alive* graph is formed over
+       the live routers, keeping an edge only where both directions of the
+       channel pair survive.  Each connected component is levelled by BFS
+       from its lowest-id router, and every node gets the global total
+       order key ``(level, node)``.  A directed channel ``u -> v`` is *up*
+       iff ``key(v) < key(u)``, else *down*.  Channels with only one
+       surviving direction do not shape the levels but are still oriented
+       and usable — the levels must come from the bidirectional core, or a
+       node whose only up-channel is half-dead could be stranded with
+       all-down paths that may never turn up again.
+    2. **Turn rule.**  A packet may never make a *down -> up* turn.  Up
+       channels strictly decrease the key and down channels strictly
+       increase it, so any channel-dependency cycle would need a down->up
+       turn: the restricted channel-dependency graph is acyclic for *any*
+       total order, hence deadlock-free (certified independently by
+       ``analysis.cdg``).
+    3. **Tables.**  Per destination, a backward BFS over directed-channel
+       states (relaxing only turn-legal predecessors) yields the shortest
+       legal distance from every channel.  The routing entry for
+       ``(node, in_port, dst)`` is the alive, turn-legal output channel
+       with minimal distance (ties broken by direction index), so greedy
+       table-following strictly decreases the distance each hop and always
+       terminates at ``dst``.
+
+    Every pair of routers connected in the both-alive graph is routable:
+    climb all-up to the component's root (level 0, minimal key), then
+    descend all-down to the destination — up*-then-down* paths contain no
+    down->up turn.  Pairs outside any bidirectional component may still be
+    routable through half-alive channels; pairs with no table entry are
+    *unreachable* and reported as such (``is_reachable``), letting NIs
+    refuse undeliverable packets instead of wedging the network.
+
+    On a healthy mesh the key reduces to ``(x + y, node)``; up = {WEST,
+    SOUTH} and down = {EAST, NORTH}, and all four quadrant cases admit
+    minimal paths (pure-down, pure-up, west-then-north, south-then-east),
+    so the fault-free latency matches XY.
+    """
+
+    cacheable = True
+    port_aware = True
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        dead_links: Iterable[_Chan] = (),
+        dead_routers: Iterable[int] = (),
+    ):
+        self.topology = topology
+        #: Bumped on every rebuild; lets observers detect reconfiguration.
+        self.version = 0
+        self._alive_channels: Set[_Chan] = set()
+        self._table: Dict[Tuple[int, int, int], Direction] = {}
+        self._num_nodes = topology.num_nodes
+        self.rebuild(dead_links, dead_routers)
+
+    # -- construction ------------------------------------------------------
+
+    def rebuild(
+        self, dead_links: Iterable[_Chan] = (), dead_routers: Iterable[int] = ()
+    ) -> None:
+        """Recompute orientation and routing tables for the current
+        surviving-link set.  ``dead_links`` entries are ``(node,
+        direction)`` — the directed channel leaving ``node`` through
+        ``direction``."""
+        topology = self.topology
+        dead_link_set = set(dead_links)
+        dead_router_set = set(dead_routers)
+
+        # Surviving directed channels.
+        alive: Dict[_Chan, int] = {}
+        for u in topology.nodes():
+            if u in dead_router_set:
+                continue
+            for d in topology.connected_directions(u):
+                v = topology.neighbor(u, d)
+                if v is None or v in dead_router_set:
+                    continue
+                if (u, d) in dead_link_set:
+                    continue
+                alive[(u, d)] = v
+        self._alive_channels = set(alive)
+
+        # Levels over the both-alive graph, per component from its min id.
+        both_alive: Dict[int, List[int]] = {}
+        for (u, d), v in alive.items():
+            if (v, d.opposite) in alive:
+                both_alive.setdefault(u, []).append(v)
+        level: Dict[int, int] = {}
+        for root in topology.nodes():
+            if root in dead_router_set or root in level:
+                continue
+            level[root] = 0
+            frontier = deque([root])
+            while frontier:
+                u = frontier.popleft()
+                for v in both_alive.get(u, ()):
+                    if v not in level:
+                        level[v] = level[u] + 1
+                        frontier.append(v)
+
+        def key(n: int) -> Tuple[int, int]:
+            return (level[n], n)
+
+        is_up: Dict[_Chan, bool] = {
+            ch: key(v) < key(ch[0]) for ch, v in alive.items()
+        }
+
+        # Reverse adjacency: channels arriving at each node.
+        arriving: Dict[int, List[_Chan]] = {}
+        for ch, v in alive.items():
+            arriving.setdefault(v, []).append(ch)
+
+        table: Dict[Tuple[int, int, int], Direction] = {}
+        local = int(Direction.LOCAL)
+        for dst in topology.nodes():
+            if dst in dead_router_set:
+                continue
+            # Backward BFS over channel states; dist[ch] = shortest legal
+            # hop count from entering ch to reaching dst.
+            dist: Dict[_Chan, int] = {}
+            frontier = deque()
+            for ch in arriving.get(dst, ()):
+                dist[ch] = 1
+                frontier.append(ch)
+            while frontier:
+                ch = frontier.popleft()
+                ch_up = is_up[ch]
+                next_dist = dist[ch] + 1
+                for pc in arriving.get(ch[0], ()):
+                    # Forward turn pc -> ch is illegal iff down -> up.
+                    if pc not in dist and not (not is_up[pc] and ch_up):
+                        dist[pc] = next_dist
+                        frontier.append(pc)
+
+            for u in topology.nodes():
+                if u == dst or u in dead_router_set:
+                    continue
+                outs = [
+                    (dist[(u, d)], int(d), d)
+                    for d in topology.connected_directions(u)
+                    if (u, d) in dist
+                ]
+                if not outs:
+                    continue
+                # Injection: no held channel, any output is turn-legal.
+                table[(u, local, dst)] = min(outs)[2]
+                for pc in arriving.get(u, ()):
+                    in_port = pc[1].opposite
+                    if is_up[pc]:
+                        best = min(outs)
+                    else:
+                        legal = [o for o in outs if not is_up[(u, o[2])]]
+                        if not legal:
+                            continue
+                        best = min(legal)
+                    table[(u, int(in_port), dst)] = best[2]
+
+        self._table = table
+        self.version += 1
+
+    # -- routing -----------------------------------------------------------
+
+    def candidates(
+        self, topology: MeshTopology, current: int, flit: Flit
+    ) -> List[Direction]:
+        """Injection-context lookup (no held channel, all turns legal)."""
+        if current == flit.dst:
+            return [Direction.LOCAL]
+        d = self._table.get((current, int(Direction.LOCAL), flit.dst))
+        return [d] if d is not None else []
+
+    def candidates_from(
+        self,
+        topology: MeshTopology,
+        current: int,
+        in_port: Direction,
+        flit: Flit,
+    ) -> List[Direction]:
+        """Port-aware lookup for a header arriving through ``in_port``.
+
+        A missing entry with a *live* held channel means the packet is
+        turn-stuck after a reconfiguration (every legal continuation died):
+        it is unroutable and the caller must drop it.  If the held channel
+        itself is dead, nothing can wait on it any more, so the packet is
+        re-planned as if freshly injected (no turn constraint).
+        """
+        if current == flit.dst:
+            return [Direction.LOCAL]
+        if in_port is Direction.LOCAL:
+            return self.candidates(topology, current, flit)
+        d = self._table.get((current, int(in_port), flit.dst))
+        if d is not None:
+            return [d]
+        src = topology.neighbor(current, in_port)
+        held = (src, in_port.opposite) if src is not None else None
+        if held is None or held not in self._alive_channels:
+            return self.candidates(topology, current, flit)
+        return []
+
+    # -- reachability ------------------------------------------------------
+
+    def is_reachable(self, src: int, dst: int) -> bool:
+        """Whether the current tables can deliver ``src -> dst``."""
+        if src == dst:
+            return True
+        return (src, int(Direction.LOCAL), dst) in self._table
+
+    def reachable_fraction(self) -> float:
+        """Fraction of ordered ``(src, dst)`` pairs (src != dst) the
+        current tables can deliver — 1.0 on a healthy network."""
+        n = self._num_nodes
+        if n < 2:
+            return 1.0
+        local = int(Direction.LOCAL)
+        entries = sum(1 for (_, p, _) in self._table if p == local)
+        return entries / (n * (n - 1))
+
+
 def make_routing_function(algorithm: RoutingAlgorithm) -> RoutingFunction:
     """Factory mapping the config enum to a routing function instance."""
     if algorithm is RoutingAlgorithm.XY:
@@ -168,6 +404,11 @@ def make_routing_function(algorithm: RoutingAlgorithm) -> RoutingFunction:
         return FullyAdaptiveRouting()
     if algorithm is RoutingAlgorithm.SOURCE:
         return SourceRouting()
+    if algorithm is RoutingAlgorithm.FT_TABLE:
+        raise ValueError(
+            "FT_TABLE routing needs a topology to build its tables; "
+            "use resolve_routing_function(algorithm, topology)"
+        )
     raise ValueError(f"unknown routing algorithm: {algorithm}")
 
 
@@ -184,6 +425,8 @@ def resolve_routing_function(
     """
     from repro.noc.topology import TorusTopology
 
+    if algorithm is RoutingAlgorithm.FT_TABLE:
+        return FaultAwareRouting(topology)
     if algorithm is RoutingAlgorithm.XY and isinstance(topology, TorusTopology):
         return TorusXYRouting()
     return make_routing_function(algorithm)

@@ -18,6 +18,7 @@ from repro.config import (
     SimulationConfig,
     WorkloadConfig,
 )
+from repro.faults.permanent import PermanentFaultSchedule
 from repro.noc.simulator import SimulationResult
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
 
@@ -31,6 +32,7 @@ def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
         "rates": {site.value: rate for site, rate in config.faults.rates.items()},
         "link_multi_bit_fraction": config.faults.link_multi_bit_fraction,
         "seed": config.faults.seed,
+        "permanent": config.faults.permanent.to_dicts(),
     }
     return {
         "noc": noc,
@@ -56,6 +58,9 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
         },
         link_multi_bit_fraction=faults_data["link_multi_bit_fraction"],
         seed=faults_data["seed"],
+        permanent=PermanentFaultSchedule.from_dicts(
+            faults_data.get("permanent", [])
+        ),
     )
     return SimulationConfig(
         noc=NoCConfig(**noc_data),

@@ -80,6 +80,20 @@ counter                               incremented when
 ``handshake_signals_lost``            a handshake glitch destroys a sample
                                       (TMR-off ablation): a credit leaks or a
                                       NACK is delayed
+``permanent_faults_applied``          a scheduled permanent fault (dead link,
+                                      router, or VC buffer) takes effect
+``permanent_fault_flits_dropped``     each flit destroyed by a permanent
+                                      fault (in flight on a dead link, wedged
+                                      in a dead buffer, or flushed from a
+                                      torn-down wormhole)
+``packets_unroutable``                a header is dropped because no route to
+                                      its destination survives on the degraded
+                                      topology
+``wormholes_orphaned``                a wormhole is cut mid-packet by a
+                                      permanent fault and its remaining flits
+                                      can never arrive
+``reroute_recomputations``            the fault-aware routing tables are
+                                      rebuilt after a topology change
 ====================================  =========================================
 """
 

@@ -120,12 +120,17 @@ class RoutingAlgorithm(enum.Enum):
       recovery scheme.
     * ``SOURCE`` — routes are attached to packets by the injector; used to
       script deterministic scenarios (e.g. the Figure 10/11 deadlocks).
+    * ``FT_TABLE`` — fault-aware table routing (up*/down* turn model over
+      the surviving links), recomputed on every permanent-fault event; this
+      is the routing that XY-configured networks fall back to when a
+      permanent-fault schedule is present.
     """
 
     XY = "xy"
     WEST_FIRST = "west_first"
     FULLY_ADAPTIVE = "fully_adaptive"
     SOURCE = "source"
+    FT_TABLE = "ft_table"
 
 
 class LinkProtection(enum.Enum):

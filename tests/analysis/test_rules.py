@@ -37,7 +37,7 @@ def rule_ids(report):
 class TestCatalogue:
     def test_ids_are_stable_and_ordered(self):
         ids = [entry.rule_id for entry in iter_rules()]
-        assert ids == [f"NOC{n:03d}" for n in range(1, 13)]
+        assert ids == [f"NOC{n:03d}" for n in range(1, 14)]
 
     def test_paper_baseline_is_clean(self):
         assert len(lint_config(make_config())) == 0
@@ -295,3 +295,39 @@ class TestNOC012ACUnit:
     def test_quiet_without_logic_faults(self):
         report = lint_config(make_config(noc=dict(ac_unit_enabled=False)))
         assert not report.by_rule("NOC012")
+
+
+class TestNOC013PermanentRerouting:
+    def _schedule(self):
+        import dataclasses
+
+        from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
+        from repro.types import Direction
+
+        return dataclasses.replace(
+            FaultConfig.fault_free(),
+            permanent=PermanentFaultSchedule.of(
+                PermanentFault("link", 5, Direction.EAST)
+            ),
+        )
+
+    def test_fires_for_non_reroutable_routing(self):
+        report = lint_config(
+            make_config(
+                noc=dict(routing=RoutingAlgorithm.WEST_FIRST),
+                faults=self._schedule(),
+            )
+        )
+        (diag,) = report.by_rule("NOC013")
+        assert diag.severity is Severity.WARNING
+        assert "ft_table" in diag.hint
+
+    def test_quiet_for_fault_aware_routing(self):
+        report = lint_config(make_config(faults=self._schedule()))
+        assert not report.by_rule("NOC013")
+
+    def test_quiet_without_permanent_faults(self):
+        report = lint_config(
+            make_config(noc=dict(routing=RoutingAlgorithm.WEST_FIRST))
+        )
+        assert not report.by_rule("NOC013")

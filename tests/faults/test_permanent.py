@@ -1,0 +1,140 @@
+"""Tests for the permanent-fault schedule data model and parsers."""
+
+import pytest
+
+from repro.faults.permanent import (
+    PermanentFault,
+    PermanentFaultSchedule,
+    parse_link_spec,
+    parse_router_spec,
+    parse_vc_spec,
+)
+from repro.types import Direction
+
+
+class TestPermanentFault:
+    def test_link_fault(self):
+        fault = PermanentFault("link", 12, Direction.EAST, cycle=500)
+        assert fault.describe() == "link 12:east@500"
+
+    def test_router_fault_needs_no_direction(self):
+        fault = PermanentFault("router", 27)
+        assert fault.describe() == "router 27@0"
+
+    def test_vc_fault(self):
+        fault = PermanentFault("vc", 3, Direction.NORTH, vc=1, cycle=250)
+        assert fault.describe() == "vc 3:north:1@250"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            PermanentFault("buffer", 0, Direction.EAST)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError, match="node"):
+            PermanentFault("router", -1)
+
+    def test_link_without_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            PermanentFault("link", 3)
+
+    def test_local_direction_rejected(self):
+        with pytest.raises(ValueError, match="local"):
+            PermanentFault("link", 3, Direction.LOCAL)
+
+    def test_vc_without_index_rejected(self):
+        with pytest.raises(ValueError, match="vc"):
+            PermanentFault("vc", 3, Direction.NORTH)
+
+    def test_frozen_and_hashable(self):
+        fault = PermanentFault("link", 1, Direction.WEST)
+        assert fault == PermanentFault("link", 1, Direction.WEST)
+        assert hash(fault) == hash(PermanentFault("link", 1, Direction.WEST))
+        with pytest.raises(AttributeError):
+            fault.node = 2
+
+
+class TestSchedule:
+    def test_empty(self):
+        schedule = PermanentFaultSchedule.empty()
+        assert not schedule
+        assert len(schedule) == 0
+        assert schedule.to_dicts() == []
+
+    def test_sorted_by_cycle_is_stable(self):
+        early = PermanentFault("router", 1, cycle=10)
+        first = PermanentFault("link", 2, Direction.EAST)
+        second = PermanentFault("link", 3, Direction.WEST, cycle=-5)
+        schedule = PermanentFaultSchedule.of(early, first, second)
+        ordered = schedule.sorted_by_cycle()
+        # Negative cycles clamp to 0; ties keep spec order.
+        assert ordered == [first, second, early]
+
+    def test_round_trip(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 12, Direction.EAST, cycle=500),
+            PermanentFault("router", 27),
+            PermanentFault("vc", 3, Direction.NORTH, vc=1, cycle=250),
+        )
+        dicts = schedule.to_dicts()
+        assert dicts[0] == {
+            "kind": "link", "node": 12, "direction": "east", "cycle": 500
+        }
+        assert dicts[1] == {"kind": "router", "node": 27}
+        assert PermanentFaultSchedule.from_dicts(dicts) == schedule
+
+    def test_config_round_trip(self):
+        import dataclasses
+
+        from repro.config import FaultConfig, SimulationConfig
+        from repro.serialization import config_from_dict, config_to_dict
+
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 5, Direction.SOUTH, cycle=99)
+        )
+        config = SimulationConfig(
+            faults=dataclasses.replace(
+                FaultConfig.fault_free(), permanent=schedule
+            )
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored.faults.permanent == schedule
+
+    def test_config_rejects_wrong_type(self):
+        from repro.config import FaultConfig
+
+        with pytest.raises(TypeError, match="PermanentFaultSchedule"):
+            FaultConfig(permanent=[PermanentFault("router", 1)])
+
+
+class TestSpecParsers:
+    def test_link_spec(self):
+        fault = parse_link_spec("12:east@500")
+        assert fault == PermanentFault("link", 12, Direction.EAST, cycle=500)
+
+    def test_link_spec_default_cycle(self):
+        assert parse_link_spec("0:west").cycle == 0
+
+    def test_router_spec(self):
+        assert parse_router_spec("27@10") == PermanentFault(
+            "router", 27, cycle=10
+        )
+
+    def test_vc_spec(self):
+        assert parse_vc_spec("3:north:1@250") == PermanentFault(
+            "vc", 3, Direction.NORTH, vc=1, cycle=250
+        )
+
+    @pytest.mark.parametrize(
+        "parser, spec",
+        [
+            (parse_link_spec, "12"),
+            (parse_link_spec, "12:up"),
+            (parse_link_spec, "12:east@soon"),
+            (parse_router_spec, "27@never"),
+            (parse_vc_spec, "3:north"),
+            (parse_vc_spec, "3:local:0"),
+        ],
+    )
+    def test_bad_specs_rejected(self, parser, spec):
+        with pytest.raises(ValueError):
+            parser(spec)

@@ -15,12 +15,13 @@ this module green (see docs/PERFORMANCE.md).
 import pytest
 
 from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 from repro.noc.network import Network
 from repro.noc.packet import Packet
 from repro.noc.simulator import run_simulation
 from repro.noc.trace import PacketTracer
 from repro.serialization import result_to_dict
-from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
+from repro.types import Direction, FaultSite, LinkProtection, RoutingAlgorithm
 
 ALL_SITES = {site: 0.002 for site in FaultSite}
 
@@ -37,7 +38,11 @@ def _config(activity_driven, **kw):
     )
     return SimulationConfig(
         noc=noc,
-        faults=FaultConfig(rates=kw.get("rates", {}), seed=kw.get("seed", 42)),
+        faults=FaultConfig(
+            rates=kw.get("rates", {}),
+            seed=kw.get("seed", 42),
+            permanent=kw.get("permanent", PermanentFaultSchedule.empty()),
+        ),
         workload=WorkloadConfig(
             injection_rate=kw.get("rate", 0.05),
             num_messages=kw.get("messages", 120),
@@ -84,6 +89,33 @@ SCENARIOS = {
         protection=LinkProtection.FEC, rates={FaultSite.LINK: 0.01}
     ),
     "xy_all_sites_alt_seed": dict(rates=ALL_SITES, seed=7, rate=0.15),
+    # Permanent faults must not perturb the RNG stream or activity sets:
+    # the teardown draws no randomness and wakes the same components.
+    "permanent_link_kill_mid_run": dict(
+        permanent=PermanentFaultSchedule.of(
+            PermanentFault("link", 5, Direction.EAST, cycle=200)
+        ),
+        rate=0.15,
+        messages=200,
+    ),
+    "permanent_router_kill_with_transients": dict(
+        permanent=PermanentFaultSchedule.of(
+            PermanentFault("router", 10, cycle=250)
+        ),
+        rates={FaultSite.LINK: 0.005},
+        rate=0.20,
+        messages=200,
+    ),
+    "permanent_storm_doa_and_vc": dict(
+        permanent=PermanentFaultSchedule.of(
+            PermanentFault("link", 9, Direction.NORTH),
+            PermanentFault("vc", 6, Direction.SOUTH, vc=1, cycle=150),
+            PermanentFault("link", 1, Direction.EAST, cycle=300),
+        ),
+        rates=ALL_SITES,
+        rate=0.25,
+        messages=250,
+    ),
 }
 
 

@@ -1,0 +1,198 @@
+"""Dynamic behaviour of permanent faults inside the simulated network.
+
+Every scenario runs with ``invariant_checks=True``, so the per-cycle
+sanitizer (flit conservation including ``permanent_fault_flits_dropped``,
+allocation bijectivity with orphaned wormholes, VC state legality) audits
+each cycle of the teardown — the strongest evidence the component-death
+bookkeeping is exact.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
+from repro.noc.network import Network
+from repro.noc.routing import FaultAwareRouting
+from repro.noc.simulator import run_simulation
+from repro.types import Direction, RoutingAlgorithm
+
+
+def config_with(
+    schedule: PermanentFaultSchedule,
+    *,
+    width: int = 4,
+    height: int = 4,
+    routing: RoutingAlgorithm = RoutingAlgorithm.XY,
+    rate: float = 0.12,
+    messages: int = 400,
+    **overrides,
+) -> SimulationConfig:
+    config = SimulationConfig(
+        noc=NoCConfig(width=width, height=height, routing=routing),
+        faults=dataclasses.replace(FaultConfig.fault_free(), permanent=schedule),
+        workload=WorkloadConfig(
+            injection_rate=rate,
+            num_messages=messages,
+            warmup_messages=messages // 8,
+            max_cycles=100_000,
+            seed=9,
+        ),
+        invariant_checks=True,
+    )
+    return config.replace(**overrides) if overrides else config
+
+
+class TestRoutingSubstitution:
+    def test_xy_becomes_fault_aware_when_scheduled(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 5, Direction.EAST)
+        )
+        net = Network(config_with(schedule))
+        assert isinstance(net.routing_fn, FaultAwareRouting)
+        assert net.degraded
+
+    def test_no_substitution_without_schedule(self):
+        net = Network(config_with(PermanentFaultSchedule.empty()))
+        assert not isinstance(net.routing_fn, FaultAwareRouting)
+        assert not net.degraded
+
+    def test_non_reroutable_routing_warns(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 5, Direction.EAST)
+        )
+        with pytest.warns(UserWarning, match="NOC013"):
+            Network(config_with(schedule, routing=RoutingAlgorithm.WEST_FIRST))
+
+    def test_fault_aware_routing_does_not_warn(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 5, Direction.EAST)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Network(config_with(schedule, routing=RoutingAlgorithm.FT_TABLE))
+
+
+class TestScheduleValidation:
+    def test_node_out_of_range(self):
+        schedule = PermanentFaultSchedule.of(PermanentFault("router", 99))
+        with pytest.raises(ValueError, match="node 99"):
+            Network(config_with(schedule))
+
+    def test_missing_link_rejected(self):
+        # Node 3 is the north-east corner of a 4x4 mesh: no east link.
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 3, Direction.EAST)
+        )
+        with pytest.raises(ValueError, match="no such link"):
+            Network(config_with(schedule))
+
+    def test_vc_out_of_range(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("vc", 5, Direction.EAST, vc=7)
+        )
+        with pytest.raises(ValueError, match="VC 7"):
+            Network(config_with(schedule))
+
+
+class TestDeadOnArrivalLink:
+    def test_full_delivery_around_the_hole(self):
+        """Acceptance: a dead link, and every packet still arrives."""
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 5, Direction.EAST)
+        )
+        result = run_simulation(config_with(schedule, messages=500))
+        assert result.packets_lost == 0
+        assert result.packets_delivered == 500
+        assert result.counter("permanent_faults_applied") == 1
+        assert result.counter("reroute_recomputations") == 1
+        # Nothing was in flight at cycle 0, so nothing could be destroyed.
+        assert result.counter("permanent_fault_flits_dropped") == 0
+
+    def test_applied_before_any_traffic(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 5, Direction.EAST)
+        )
+        net = Network(config_with(schedule))
+        assert (5, Direction.EAST) in net._dead_links
+        assert net.stats.counters["permanent_faults_applied"] == 1
+
+
+class TestMidRunKills:
+    def test_link_kill_loses_only_in_flight_packets(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("link", 5, Direction.EAST, cycle=300)
+        )
+        result = run_simulation(config_with(schedule, messages=600))
+        assert not result.hit_cycle_limit
+        assert result.packets_delivered + result.packets_lost >= 600
+        # Only wormholes crossing the link at cycle 300 can die; with a
+        # 4-flit packet that is a handful at most, never a flood.
+        assert result.packets_lost <= 10
+        assert result.counter("packets_lost") == result.packets_lost
+
+    def test_router_kill_drains_and_accounts_everything(self):
+        schedule = PermanentFaultSchedule.of(PermanentFault("router", 10, cycle=250))
+        result = run_simulation(config_with(schedule, messages=600))
+        assert not result.hit_cycle_limit
+        # Traffic to/from the dead node is refused, not wedged.
+        assert result.counter("packets_unroutable") > 0
+        assert result.packets_delivered + result.packets_lost >= 600
+
+    def test_vc_kill_keeps_link_alive(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("vc", 5, Direction.EAST, vc=1, cycle=200)
+        )
+        result = run_simulation(config_with(schedule, messages=500))
+        assert not result.hit_cycle_limit
+        assert result.packets_delivered + result.packets_lost >= 500
+        net = Network(config_with(schedule))
+        for _ in range(300):
+            net.step()
+        # The other VCs keep the channel usable: the link itself survives.
+        assert (5, Direction.EAST) not in net._dead_links
+        assert net.routers[5].outputs[int(Direction.EAST)][1].dead
+
+    def test_killing_every_vc_escalates_to_the_link(self):
+        num_vcs = NoCConfig().num_vcs
+        schedule = PermanentFaultSchedule.of(
+            *(
+                PermanentFault("vc", 5, Direction.EAST, vc=v, cycle=100)
+                for v in range(num_vcs)
+            )
+        )
+        net = Network(config_with(schedule))
+        for _ in range(150):
+            net.step()
+        assert (5, Direction.EAST) in net._dead_links
+
+    def test_casualties_counted_once(self):
+        schedule = PermanentFaultSchedule.of(
+            PermanentFault("router", 10, cycle=250)
+        )
+        net = Network(config_with(schedule))
+        sim_result = run_simulation(config_with(schedule, messages=400))
+        assert sim_result.counter("packets_lost") == sim_result.packets_lost
+
+
+class TestReachabilityQueries:
+    def test_network_is_reachable_tracks_routing(self):
+        schedule = PermanentFaultSchedule.of(PermanentFault("router", 10))
+        net = Network(config_with(schedule))
+        assert not net.is_reachable(0, 10)
+        assert net.is_reachable(0, 15)
+
+    def test_ni_refuses_unreachable_destination(self):
+        from repro.noc.packet import Packet
+
+        schedule = PermanentFaultSchedule.of(PermanentFault("router", 10))
+        net = Network(config_with(schedule))
+        net.interfaces[0].enqueue(
+            Packet(packet_id=0, src=0, dst=10, num_flits=4, injection_cycle=0)
+        )
+        for _ in range(5):
+            net.step()
+        assert net.stats.counters.get("packets_unroutable", 0) == 1
+        assert net.lost == 1

@@ -84,3 +84,78 @@ class TestRunCampaign:
         )
         table = campaign_table(rows)
         assert "variant" in table and "num_vcs=1" in table
+
+
+def _crashing_variant() -> SimulationConfig:
+    """Survives config construction, crashes when the Simulator builds the
+    traffic pattern (the factory rejects the name)."""
+    import dataclasses
+
+    base = tiny_base()
+    return base.replace(
+        workload=dataclasses.replace(base.workload, pattern="no_such_pattern")
+    )
+
+
+class TestCampaignFailureHandling:
+    def test_crashing_variant_yields_failed_row(self):
+        rows = run_campaign(
+            [("ok", tiny_base()), ("boom", _crashing_variant())],
+            lint=False,
+        )
+        ok, boom = rows
+        assert not ok.failed and ok.error is None
+        assert ok.packets_delivered >= 100
+        assert boom.failed
+        assert boom.error is not None and boom.error.startswith("ValueError")
+        assert "no_such_pattern" in boom.error
+        assert boom.packets_delivered == 0 and boom.counters == {}
+
+    def test_crashing_variant_does_not_kill_the_pool(self):
+        rows = run_campaign(
+            [
+                ("ok-1", tiny_base()),
+                ("boom", _crashing_variant()),
+                ("ok-2", tiny_base()),
+            ],
+            processes=2,
+            lint=False,
+        )
+        assert [r.failed for r in rows] == [False, True, False]
+        assert rows[0].avg_latency == rows[2].avg_latency
+
+    def test_lint_abort_fires_before_the_pool(self):
+        from repro.campaign import CampaignLintError
+        from repro.config import NoCConfig
+
+        wedged = SimulationConfig(
+            noc=NoCConfig(
+                width=4, height=4, topology="torus",
+                deadlock_recovery_enabled=False,
+            ),
+            workload=tiny_base().workload,
+        )
+        with pytest.raises(CampaignLintError) as excinfo:
+            run_campaign(
+                [("ok", tiny_base()), ("wedged", wedged)], processes=2
+            )
+        assert any(
+            d.rule_id == "NOC004" for d in excinfo.value.diagnostics
+        )
+
+    def test_retries_exhaust_deterministic_failure(self):
+        (row,) = run_campaign(
+            [("boom", _crashing_variant())], lint=False, retries=2
+        )
+        assert row.failed
+
+    def test_retries_validation(self):
+        with pytest.raises(ValueError):
+            run_campaign(
+                grid(axes={"noc.num_vcs": [1]}, base=tiny_base()), retries=-1
+            )
+
+    def test_failed_row_renders_in_table(self):
+        rows = run_campaign([("boom", _crashing_variant())], lint=False)
+        table = campaign_table(rows)
+        assert "FAILED: ValueError" in table

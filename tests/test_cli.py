@@ -104,3 +104,68 @@ class TestSweepCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Latency vs injection rate" in out
+
+
+class TestPermanentFaultFlags:
+    def test_run_with_dead_link_reroutes(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--width", "4", "--height", "4",
+                "--messages", "150", "--warmup", "20",
+                "--dead-link", "5:east",
+                "--dead-vc", "6:south:1@100",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "permanent_faults_applied" in out
+
+    def test_bad_dead_link_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--dead-link", "5:up"])
+        assert excinfo.value.code == 2
+        assert "fault spec" in capsys.readouterr().err
+
+    def test_bad_dead_router_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--dead-router", "ten"])
+        assert excinfo.value.code == 2
+
+
+class TestDegradeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["degrade"])
+        assert args.width == 8 and args.kills == 8
+
+    def test_tiny_campaign(self, capsys):
+        rc = main(
+            [
+                "degrade",
+                "--width", "4", "--height", "4",
+                "--kills", "2",
+                "--inject-cycles", "200",
+                "--no-chart",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dead links" in out
+        assert "reconv" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "degrade",
+                "--width", "4", "--height", "4",
+                "--kills", "1",
+                "--inject-cycles", "200",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        points = json.loads(capsys.readouterr().out)
+        assert [p["kills"] for p in points] == [0, 1]
+        assert points[0]["delivery_rate"] == 1.0
