@@ -12,15 +12,7 @@ misdirected and packets damaged).
 Run:  python examples/ac_unit_demo.py
 """
 
-from repro import (
-    AllocationComparator,
-    FaultConfig,
-    FaultSite,
-    NoCConfig,
-    SimulationConfig,
-    WorkloadConfig,
-    run_simulation,
-)
+from repro import AllocationComparator, FaultConfig, FaultSite, api
 
 P, V = 5, 4  # the paper's Table 1 router geometry
 
@@ -71,17 +63,15 @@ def part2_network_level() -> None:
     print("Part 2 — SA fault storm, AC enabled vs disabled (8x8 mesh)")
     print()
     faults = FaultConfig.single_site(FaultSite.SW_ALLOC, 0.002, seed=3)
-    workload = WorkloadConfig(
-        injection_rate=0.25, num_messages=800, warmup_messages=160,
-        max_cycles=60_000,
-    )
     for enabled in (True, False):
-        config = SimulationConfig(
-            noc=NoCConfig(ac_unit_enabled=enabled),
+        r = api.run(
+            ac_unit_enabled=enabled,
             faults=faults,
-            workload=workload,
+            rate=0.25,
+            messages=800,
+            warmup=160,
+            max_cycles=60_000,
         )
-        r = run_simulation(config)
         stranded = r.packets_injected - r.packets_delivered - r.packets_lost
         print(
             f"  AC {'ON ' if enabled else 'OFF'}: "

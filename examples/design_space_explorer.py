@@ -13,27 +13,19 @@ Run:  python examples/design_space_explorer.py [--fast]
 
 import argparse
 
-from repro import (
-    AreaModel,
-    NoCConfig,
-    SimulationConfig,
-    WorkloadConfig,
-    run_simulation,
-)
+from repro import AreaModel, NoCConfig, api
 from repro.power.area import router_inventory
 
 
 def evaluate(noc: NoCConfig, rate: float, messages: int) -> dict:
-    config = SimulationConfig(
-        noc=noc,
-        workload=WorkloadConfig(
-            injection_rate=rate,
-            num_messages=messages,
-            warmup_messages=messages // 5,
-            max_cycles=60_000,
-        ),
+    config = api.load_config(
+        api.SimulationConfig(noc=noc),
+        rate=rate,
+        messages=messages,
+        warmup=messages // 5,
+        max_cycles=60_000,
     )
-    result = run_simulation(config)
+    result = api.run(config)
     return {
         "latency": result.avg_latency,
         "throughput": result.throughput_flits_per_node_cycle,

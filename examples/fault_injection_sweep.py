@@ -11,29 +11,19 @@ Run:  python examples/fault_injection_sweep.py [--fast]
 
 import argparse
 
-from repro import (
-    FaultConfig,
-    LinkProtection,
-    NoCConfig,
-    SimulationConfig,
-    WorkloadConfig,
-    run_simulation,
-)
+from repro import FaultConfig, LinkProtection, api
 
 ERROR_RATES = (1e-4, 1e-3, 1e-2, 5e-2, 1e-1)
 
 
 def run_point(scheme: LinkProtection, error_rate: float, messages: int):
-    config = SimulationConfig(
-        noc=NoCConfig(link_protection=scheme),
+    return api.run(
+        link_protection=scheme,
         faults=FaultConfig.link_only(error_rate, multi_bit_fraction=0.2, seed=7),
-        workload=WorkloadConfig(
-            injection_rate=0.25,
-            num_messages=messages,
-            warmup_messages=messages // 5,
-        ),
+        rate=0.25,
+        messages=messages,
+        warmup=messages // 5,
     )
-    return run_simulation(config)
 
 
 def main() -> None:

@@ -7,32 +7,28 @@ scheme — injects uniform random traffic at 0.25 flits/node/cycle with a 1%
 uncorrectable link error rate, and reports latency, energy and the
 error-recovery counters.
 
+Everything goes through the stable :mod:`repro.api` facade; the underlying
+config dataclasses remain available for finer control (see
+``fault_injection_sweep.py``).
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    FaultConfig,
-    NoCConfig,
-    SimulationConfig,
-    WorkloadConfig,
-    run_simulation,
-)
+from repro import FaultConfig, api
 
 
 def main() -> None:
-    config = SimulationConfig(
-        noc=NoCConfig(),  # the paper's defaults: 8x8, 3 VCs, 4-flit packets
+    config = api.load_config(
+        # the paper's defaults: 8x8, 3 VCs, 4-flit packets, HBH protection
         faults=FaultConfig.link_only(0.01, multi_bit_fraction=1.0),
-        workload=WorkloadConfig(
-            pattern="uniform",
-            injection_rate=0.25,
-            num_messages=2000,
-            warmup_messages=400,
-        ),
+        pattern="uniform",
+        rate=0.25,
+        messages=2000,
+        warmup=400,
     )
 
     print("Simulating an 8x8 mesh with HBH retransmission, 1% link error rate...")
-    result = run_simulation(config)
+    result = api.run(config)
 
     print()
     print(result.summary_lines())

@@ -8,11 +8,11 @@ retransmission buffers, retransmission-buffer-based deadlock recovery with
 probe-based detection, the Allocation Comparator (AC) unit for VA/SA logic
 errors, and per-module soft-error handling.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` facade is the stable entry point::
 
-    from repro import SimulationConfig, run_simulation
+    from repro import api
 
-    result = run_simulation(SimulationConfig())
+    result = api.run(api.load_config(width=4, height=4, messages=500))
     print(result.summary_lines())
 
 See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
@@ -50,6 +50,8 @@ from repro.analysis import (
 from repro.campaign import CampaignLintError, CampaignRow, grid, run_campaign
 from repro.noc.simulator import run_simulation
 from repro.power import AreaModel, EnergyModel
+from repro.telemetry import TelemetryConfig, TelemetryReport
+from repro import api
 from repro.types import (
     Corruption,
     Direction,
@@ -85,8 +87,11 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "TelemetryConfig",
+    "TelemetryReport",
     "TorusTopology",
     "WorkloadConfig",
+    "api",
     "buffer_lower_bound",
     "grid",
     "lint_config",

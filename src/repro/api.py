@@ -1,0 +1,236 @@
+"""The stable public facade: ``import repro.api as api``.
+
+Everything a script, notebook or external harness needs to drive the
+simulator lives behind this one module, with small call-shaped functions
+instead of the internal class constellation:
+
+* :func:`load_config` — build a :class:`SimulationConfig` from a JSON file,
+  a JSON string, a serialized dict, or keyword overrides.
+* :func:`run` — run one simulation (telemetry and tracing optional).
+* :func:`sweep` — latency vs injection rate over one config.
+* :func:`lint` — the static NOC0xx / deadlock-freedom checks.
+* :func:`degrade` — the graceful-degradation campaign.
+
+Every heavyweight type these return is re-exported here, so user code can
+type-annotate and introspect without reaching into internal modules::
+
+    from repro import api
+
+    config = api.load_config(width=4, height=4, telemetry=True)
+    result = api.run(config)
+    print(result.telemetry.summary())
+
+The internal module layout may shift between releases; this surface is the
+compatibility contract (schema ``repro/v1``, see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.analysis.linter import DiagnosticReport, lint_config, lint_paths
+from repro.config import (
+    FaultConfig,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.experiments.degradation import DegradationPoint, run_degradation
+from repro.noc.simulator import SimulationResult, Simulator, run_simulation
+from repro.serialization import (
+    config_from_dict,
+    config_to_dict,
+    envelope,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.telemetry import (
+    TelemetryConfig,
+    TelemetryReport,
+    validate_ndjson_lines,
+    write_ndjson,
+)
+
+__all__ = [
+    "DegradationPoint",
+    "DiagnosticReport",
+    "FaultConfig",
+    "NoCConfig",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "TelemetryConfig",
+    "TelemetryReport",
+    "WorkloadConfig",
+    "config_from_dict",
+    "config_to_dict",
+    "degrade",
+    "envelope",
+    "lint",
+    "load_config",
+    "result_from_dict",
+    "result_to_dict",
+    "run",
+    "sweep",
+    "validate_ndjson_lines",
+    "write_ndjson",
+]
+
+ConfigLike = Union[SimulationConfig, Mapping[str, Any], str, Path]
+
+
+def load_config(source: Optional[ConfigLike] = None, **overrides: Any) -> SimulationConfig:
+    """Build a :class:`SimulationConfig` from whatever the caller has.
+
+    ``source`` may be an existing config (returned as-is unless overridden),
+    a serialized dict, a path to a JSON config file, or a JSON string.
+    Keyword overrides use the flat names scripts actually vary:
+    ``width, height, vcs, routing, scheme, rate, messages, warmup, seed,
+    max_cycles, pattern, link_error_rate, telemetry, metrics_interval`` —
+    any :class:`NoCConfig`/:class:`WorkloadConfig` field name also works.
+
+    ``telemetry`` accepts a :class:`TelemetryConfig`, a dict, or ``True``
+    (enable with defaults); ``faults`` accepts a :class:`FaultConfig` or a
+    serialized faults dict.
+    """
+    data = _source_to_dict(source)
+    _apply_overrides(data, overrides)
+    return config_from_dict(data)
+
+
+def _source_to_dict(source: Optional[ConfigLike]) -> Dict[str, Any]:
+    if source is None:
+        return config_to_dict(SimulationConfig())
+    if isinstance(source, SimulationConfig):
+        return config_to_dict(source)
+    if isinstance(source, Mapping):
+        return json.loads(json.dumps(dict(source)))  # deep copy, JSON-safe
+    if isinstance(source, Path) or (
+        isinstance(source, str) and not source.lstrip().startswith("{")
+    ):
+        text = Path(source).read_text()
+        return json.loads(text)
+    return json.loads(source)
+
+
+#: Flat override aliases -> (section, field).
+_ALIASES = {
+    "vcs": ("noc", "num_vcs"),
+    "buffer_depth": ("noc", "vc_buffer_depth"),
+    "flits": ("noc", "flits_per_packet"),
+    "retx_depth": ("noc", "retx_buffer_depth"),
+    "scheme": ("noc", "link_protection"),
+    "rate": ("workload", "injection_rate"),
+    "messages": ("workload", "num_messages"),
+    "warmup": ("workload", "warmup_messages"),
+}
+
+_NOC_FIELDS = {f.name for f in dataclasses.fields(NoCConfig)}
+_WORKLOAD_FIELDS = {f.name for f in dataclasses.fields(WorkloadConfig)}
+
+
+def _apply_overrides(data: Dict[str, Any], overrides: Dict[str, Any]) -> None:
+    for key, value in overrides.items():
+        if key == "telemetry":
+            if value is True:
+                value = {"enabled": True}
+            elif isinstance(value, TelemetryConfig):
+                value = value.to_dict()
+            data["telemetry"] = dict(value)
+        elif key == "metrics_interval":
+            tel = data.setdefault("telemetry", {"enabled": True})
+            tel["metrics_interval"] = value
+        elif key == "faults":
+            if isinstance(value, FaultConfig):
+                value = config_to_dict(SimulationConfig(faults=value))["faults"]
+            data["faults"] = dict(value)
+        elif key == "link_error_rate":
+            data.setdefault("faults", {}).setdefault("rates", {})["link"] = value
+        elif key == "seed":
+            data.setdefault("workload", {})["seed"] = value
+            data.setdefault("faults", {})["seed"] = value
+        elif key in _ALIASES:
+            section, name = _ALIASES[key]
+            data.setdefault(section, {})[name] = value
+        elif key in _NOC_FIELDS:
+            data.setdefault("noc", {})[key] = value
+        elif key in _WORKLOAD_FIELDS:
+            data.setdefault("workload", {})[key] = value
+        elif key in ("invariant_checks", "activity_driven", "collect_power"):
+            data[key] = value
+        else:
+            raise TypeError(f"load_config() got an unknown override {key!r}")
+
+
+def run(
+    config: Optional[ConfigLike] = None,
+    *,
+    telemetry_path: Optional[Union[str, Path]] = None,
+    **overrides: Any,
+) -> SimulationResult:
+    """Run one simulation.
+
+    Accepts anything :func:`load_config` does.  When ``telemetry_path`` is
+    given, telemetry is force-enabled and the NDJSON stream is written
+    there after the run.
+    """
+    if telemetry_path is not None and "telemetry" not in overrides:
+        overrides["telemetry"] = True
+    if isinstance(config, SimulationConfig) and not overrides:
+        cfg = config
+    else:
+        cfg = load_config(config, **overrides)
+    result = run_simulation(cfg)
+    if telemetry_path is not None and result.telemetry is not None:
+        write_ndjson(
+            result.telemetry, telemetry_path, config=config_to_dict(cfg)
+        )
+    return result
+
+
+def sweep(
+    config: Optional[ConfigLike] = None,
+    rates: Optional[List[float]] = None,
+    **overrides: Any,
+) -> List[SimulationResult]:
+    """Run the same config at several injection rates (saturation curves).
+
+    Returns one :class:`SimulationResult` per rate, in order; each result's
+    ``config.workload.injection_rate`` records its rate.
+    """
+    if rates is None:
+        rates = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45]
+    base = config_to_dict(load_config(config, **overrides))
+    out = []
+    for rate in rates:
+        point = json.loads(json.dumps(base))
+        point.setdefault("workload", {})["injection_rate"] = rate
+        out.append(run_simulation(config_from_dict(point)))
+    return out
+
+
+def lint(
+    target: Optional[ConfigLike] = None,
+    *,
+    cdg: bool = True,
+    **overrides: Any,
+) -> DiagnosticReport:
+    """Statically check a config (or config files) for NoC hazards.
+
+    ``target`` may be anything :func:`load_config` accepts; a path to a
+    JSON file or a directory of them is linted file-by-file like the CLI's
+    ``repro lint <paths>``.
+    """
+    if isinstance(target, (str, Path)) and Path(target).exists():
+        return lint_paths([target], cdg=cdg)
+    return lint_config(load_config(target, **overrides), cdg=cdg)
+
+
+def degrade(**kwargs: Any) -> List[DegradationPoint]:
+    """Run the graceful-degradation campaign (progressive random link
+    kills); see :func:`repro.experiments.degradation.run_degradation` for
+    the keyword surface (width, height, max_kills, injection_rate, ...)."""
+    return run_degradation(**kwargs)

@@ -145,7 +145,7 @@ def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
     ):
         if value:
             rates[site.value] = value
-    return {
+    out: Dict[str, Any] = {
         "noc": {
             "width": args.width,
             "height": args.height,
@@ -177,6 +177,12 @@ def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
         },
         "invariant_checks": getattr(args, "invariant_checks", False),
     }
+    if getattr(args, "telemetry", None):
+        out["telemetry"] = {
+            "enabled": True,
+            "metrics_interval": getattr(args, "metrics_interval", 100),
+        }
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -196,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"
+    )
+    run.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="enable the telemetry layer and write its NDJSON stream here",
+    )
+    run.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=100,
+        help="cycles between telemetry time-series samples (with --telemetry)",
     )
 
     lint = sub.add_parser(
@@ -280,6 +297,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45],
     )
+    sweep.add_argument(
+        "--json", action="store_true", help="emit every point's result as JSON"
+    )
     return parser
 
 
@@ -295,11 +315,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("simulation aborted: invariant violation", file=sys.stderr)
         for diag in exc.diagnostics:
             print(diag.format(), file=sys.stderr)
+        flight = getattr(exc, "flight_record", None)
+        if flight:
+            print(
+                f"(telemetry flight recorder: last {len(flight)} events)",
+                file=sys.stderr,
+            )
+            for event in flight[-10:]:
+                print(f"  {json.dumps(event, sort_keys=True)}", file=sys.stderr)
         return 1
-    if args.json:
-        from repro.serialization import result_to_json
+    export_summary = None
+    if args.telemetry and result.telemetry is not None:
+        from repro.serialization import config_to_dict
+        from repro.telemetry import write_ndjson
 
-        print(result_to_json(result))
+        export_summary = write_ndjson(
+            result.telemetry, args.telemetry, config=config_to_dict(config)
+        )
+    if args.json:
+        from repro.serialization import config_to_dict, envelope, result_to_dict
+
+        print(
+            json.dumps(
+                envelope(
+                    "run",
+                    result_to_dict(result, include_config=False),
+                    config=config_to_dict(config),
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+        )
         return 0
     print(result.summary_lines())
     interesting = {
@@ -311,6 +357,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\ncounters:")
         for name, count in interesting.items():
             print(f"  {name:<28} {count}")
+    if export_summary is not None:
+        print(
+            f"\ntelemetry: {export_summary['events']} events, "
+            f"{export_summary['samples']} samples in "
+            f"{export_summary['series']} series -> {args.telemetry}"
+        )
     return 0
 
 
@@ -327,7 +379,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         report = lint_dict(_platform_dict(args), cdg=cdg, source="<flags>")
     if args.json:
-        print(json.dumps(report.to_dicts(), indent=2))
+        from repro.serialization import envelope
+
+        config_dict = None if args.paths else _platform_dict(args)
+        print(
+            json.dumps(
+                envelope("lint", report.to_dicts(), config=config_dict),
+                indent=2,
+                sort_keys=True,
+            )
+        )
     else:
         print(report.format_text())
     if args.strict and report.warnings:
@@ -429,7 +490,25 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
         invariant_checks=args.invariant_checks,
     )
     if args.json:
-        print(json.dumps([_dc.asdict(p) for p in points], indent=2))
+        from repro.serialization import envelope
+
+        campaign = {
+            "width": args.width,
+            "height": args.height,
+            "max_kills": args.kills,
+            "injection_rate": args.rate,
+            "inject_cycles": args.inject_cycles,
+            "seed": args.seed,
+        }
+        print(
+            json.dumps(
+                envelope(
+                    "degrade", [_dc.asdict(p) for p in points], config=campaign
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+        )
         return 0
     rows = [
         [
@@ -479,6 +558,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.noc.simulator import run_simulation
 
     latencies = []
+    points: List[Dict[str, Any]] = []
     for rate in args.rates:
         config = SimulationConfig(
             noc=NoCConfig(routing=RoutingAlgorithm(args.routing)),
@@ -491,7 +571,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         result = run_simulation(config)
         latencies.append(result.avg_latency)
-        print(f"rate {rate:5.2f}: latency {result.avg_latency:8.2f} cycles")
+        if args.json:
+            points.append(
+                {"rate": rate, "result": result.to_dict(include_config=False)}
+            )
+        else:
+            print(f"rate {rate:5.2f}: latency {result.avg_latency:8.2f} cycles")
+    if args.json:
+        from repro.serialization import envelope
+
+        sweep_config = {
+            "routing": args.routing,
+            "messages": args.messages,
+            "rates": list(args.rates),
+        }
+        print(
+            json.dumps(
+                envelope("sweep", points, config=sweep_config),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print()
     print(
         render_series(

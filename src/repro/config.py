@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.faults.permanent import PermanentFaultSchedule
+from repro.telemetry.config import TelemetryConfig
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
 
 #: Number of physical channels of a mesh router (N, E, S, W, LOCAL).
@@ -285,6 +286,12 @@ class SimulationConfig:
     one full network walk per cycle; intended for debugging and CI, not
     campaigns.
 
+    ``telemetry`` configures the observability layer
+    (:mod:`repro.telemetry`): when enabled, components publish structured
+    events to a shared bus and per-component gauges are sampled every
+    ``metrics_interval`` cycles.  Disabled (the default) the network carries
+    no bus at all and the cycle loops pay a single ``None`` check per cycle.
+
     ``activity_driven`` selects the activity-driven cycle loop: the network
     maintains explicit active sets (routers with buffered flits or pending
     output, links with in-flight traffic, interfaces with queued packets)
@@ -303,6 +310,7 @@ class SimulationConfig:
     payload_ecc_check: bool = False
     invariant_checks: bool = False
     activity_driven: bool = True
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def replace(self, **changes: object) -> "SimulationConfig":
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

@@ -140,6 +140,9 @@ class DeadlockController:
         self._recovery_until = -1
         self._probe_outstanding_since: Optional[int] = None
         self._discard_own_probe = False
+        #: Telemetry publish function (``TelemetryBus.publish``), wired by
+        #: the Network; called as ``hook(cycle, kind, node, **data)``.
+        self.telemetry_hook = None
         # Counters (surfaced into the run statistics by the router).
         self.probes_sent = 0
         self.probes_discarded = 0
@@ -156,6 +159,10 @@ class DeadlockController:
             self._recovery_until, cycle + self.recovery_duration
         )
         self.activations += 1
+        if self.telemetry_hook is not None:
+            self.telemetry_hook(
+                cycle, "deadlock_recovery", self.node, until=self._recovery_until
+            )
 
     # -- Rule 1: launching probes ---------------------------------------------
 
@@ -210,8 +217,16 @@ class DeadlockController:
                 # Rule 4: another node's activation already started recovery.
                 self._discard_own_probe = False
                 self.probes_discarded += 1
+                if self.telemetry_hook is not None:
+                    self.telemetry_hook(
+                        cycle, "probe_return", self.node, deadlock=False
+                    )
                 return ProbeDecision(ProbeAction.DISCARD)
             self.deadlocks_detected += 1
+            if self.telemetry_hook is not None:
+                self.telemetry_hook(
+                    cycle, "probe_return", self.node, deadlock=True
+                )
             return ProbeDecision(ProbeAction.DEADLOCK_DETECTED)
         if (target_blocked or self.in_recovery(cycle)) and target_route is not None:
             self._seen_probes[origin] = cycle

@@ -227,6 +227,16 @@ class OutputChannel:
     def has_pending_output(self) -> bool:
         return bool(self.replay_queue) or bool(self.absorption_queue)
 
+    @property
+    def telemetry_occupancy(self) -> int:
+        """Occupied slots for the telemetry pressure gauge: replay and
+        absorption queues plus the barrel shifter's live window."""
+        return (
+            len(self.replay_queue)
+            + len(self.absorption_queue)
+            + self.retx.occupancy
+        )
+
     def __repr__(self) -> str:
         return (
             f"OutputChannel(p{self.port}v{self.vc} credits={self.credits}"

@@ -39,6 +39,10 @@ class FaultInjector:
         self.config = config
         self.rng = random.Random(config.seed)
         self.log = FaultLog(log_events=log_events)
+        #: Telemetry bus (wired by the Network when telemetry is enabled).
+        #: Publishing happens only inside rate-hit branches — cold paths —
+        #: and draws no randomness, so the seed stream is unaffected.
+        self.telemetry = None
         # Cache rates as plain floats: these are the hottest calls in the
         # simulator, and attribute/dict lookups dominate otherwise.
         self._rate_link = config.rate(FaultSite.LINK)
@@ -73,6 +77,11 @@ class FaultInjector:
                 else Corruption.SINGLE
             )
             self.log.record(FaultSite.LINK, cycle, node, severity.name)
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle, "transient_fault", node,
+                    site="link", severity=severity.name.lower(),
+                )
             return severity
         return None
 
@@ -81,6 +90,8 @@ class FaultInjector:
     def routing_upset(self, cycle: int, node: int) -> bool:
         if self._rate_rt and self.rng.random() < self._rate_rt:
             self.log.record(FaultSite.ROUTING, cycle, node)
+            if self.telemetry is not None:
+                self.telemetry.publish(cycle, "transient_fault", node, site="routing")
             return True
         return False
 
@@ -105,6 +116,8 @@ class FaultInjector:
     def va_upset(self, cycle: int, node: int) -> bool:
         if self._rate_va and self.rng.random() < self._rate_va:
             self.log.record(FaultSite.VC_ALLOC, cycle, node)
+            if self.telemetry is not None:
+                self.telemetry.publish(cycle, "transient_fault", node, site="vc_alloc")
             return True
         return False
 
@@ -121,6 +134,8 @@ class FaultInjector:
     def sa_upset(self, cycle: int, node: int) -> bool:
         if self._rate_sa and self.rng.random() < self._rate_sa:
             self.log.record(FaultSite.SW_ALLOC, cycle, node)
+            if self.telemetry is not None:
+                self.telemetry.publish(cycle, "transient_fault", node, site="sw_alloc")
             return True
         return False
 
@@ -141,6 +156,8 @@ class FaultInjector:
         """Crossbar transients are single-bit upsets (Section 4.4)."""
         if self._rate_xbar and self.rng.random() < self._rate_xbar:
             self.log.record(FaultSite.CROSSBAR, cycle, node)
+            if self.telemetry is not None:
+                self.telemetry.publish(cycle, "transient_fault", node, site="crossbar")
             return Corruption.SINGLE
         return None
 
@@ -148,6 +165,10 @@ class FaultInjector:
         """Upset of a flit held in a retransmission buffer (Section 4.5)."""
         if self._rate_retx and self.rng.random() < self._rate_retx:
             self.log.record(FaultSite.RETX_BUFFER, cycle, node)
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle, "transient_fault", node, site="retx_buffer"
+                )
             return True
         return False
 
@@ -156,5 +177,9 @@ class FaultInjector:
     def handshake_glitch(self, cycle: int, node: int) -> bool:
         if self._rate_hs and self.rng.random() < self._rate_hs:
             self.log.record(FaultSite.HANDSHAKE, cycle, node)
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle, "transient_fault", node, site="handshake"
+                )
             return True
         return False

@@ -279,6 +279,11 @@ class Link:
         return lost_flits
 
     @property
+    def telemetry_id(self) -> str:
+        """Stable component key for time-series (``"<src>:<dir>"``)."""
+        return f"{self.src_node}:{self.src_port.name.lower()}"
+
+    @property
     def is_idle(self) -> bool:
         return (
             len(self.flits) == 0

@@ -44,6 +44,7 @@ from repro.noc.router import Router
 from repro.noc.routing import FaultAwareRouting, resolve_routing_function
 from repro.noc.topology import MeshTopology
 from repro.stats.collectors import StatsCollector
+from repro.telemetry.bus import TelemetryBus
 from repro.types import Corruption, Direction, LinkProtection, RoutingAlgorithm
 
 
@@ -56,6 +57,10 @@ class NetworkInterface:
         self.network = network
         self.config = network.config.noc
         self.stats = network.stats
+        self.telemetry = network.telemetry
+        #: Flits consumed by completed reassemblies (the telemetry sampler's
+        #: ejection-rate numerator; mirrors the ``flits_ejected`` counter).
+        self.flits_ejected = 0
         V = self.config.num_vcs
         self.pending: Deque[Packet] = deque()
         self._streams: List[Optional[List[Flit]]] = [None] * V
@@ -218,6 +223,7 @@ class NetworkInterface:
         # Every completed reassembly consumes its flits, whatever the
         # delivery outcome; the sanitizer balances this against injections.
         self.stats.count("flits_ejected", len(flits))
+        self.flits_ejected += len(flits)
         decision = destination_policy(scheme, self.node, flits)
         head = flits[0]
         action = decision.action
@@ -270,6 +276,14 @@ class NetworkInterface:
         elif action is DeliveryAction.LOST:
             self.stats.count("packets_lost")
             self.network.note_lost()
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle,
+                    "packet_lost",
+                    self.node,
+                    packet=head.packet_id,
+                    reason="delivery_policy",
+                )
         else:  # pragma: no cover - exhaustive enum
             raise AssertionError(f"unhandled delivery action {action}")
 
@@ -287,7 +301,16 @@ class Network:
         else:
             self.topology = MeshTopology(noc.width, noc.height)
         self.stats = StatsCollector()
+        #: The shared telemetry bus, or None when telemetry is disabled —
+        #: every publish site guards on that None, so a disabled run pays
+        #: nothing beyond one attribute check per site.  Created before the
+        #: routers and interfaces so their constructors can capture it.
+        tcfg = config.telemetry
+        self.telemetry: Optional[TelemetryBus] = (
+            TelemetryBus(tcfg) if tcfg.enabled else None
+        )
         self.injector = FaultInjector(config.faults)
+        self.injector.telemetry = self.telemetry
         routing_fn = resolve_routing_function(noc.routing, self.topology)
         schedule = config.faults.permanent
         if schedule:
@@ -353,6 +376,12 @@ class Network:
             )
             for node in self.topology.nodes()
         ]
+        if self.telemetry is not None:
+            bus = self.telemetry
+            for router in self.routers:
+                router.telemetry = bus
+                if router.deadlock is not None:
+                    router.deadlock.telemetry_hook = bus.publish
         # Activity-driven scheduling state.  The two *pending* sets are
         # cycle-scoped wake lists fed by the links (a push at cycle t lands
         # the consumer here for cycle t+1, matching the 1-cycle channel
@@ -375,6 +404,8 @@ class Network:
         self._link_map: Dict[Tuple[int, Direction], Link] = {}
         self._wire_mesh()
         self._wire_local()
+        if self.telemetry is not None:
+            self.telemetry.attach(self)
 
         self.cycle = 0
         self.delivered = 0
@@ -517,6 +548,17 @@ class Network:
 
     def _apply_fault(self, fault: PermanentFault) -> None:
         self.stats.count("permanent_faults_applied")
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                self.cycle,
+                "permanent_fault",
+                fault.node,
+                kind=fault.kind,
+                direction=(
+                    fault.direction.name.lower() if fault.direction else None
+                ),
+                vc=fault.vc,
+            )
         if fault.kind == "link":
             assert fault.direction is not None
             self._kill_link(fault.node, fault.direction)
@@ -606,6 +648,13 @@ class Network:
         if isinstance(fn, FaultAwareRouting):
             fn.rebuild(self._dead_links, self._dead_routers)
             self.stats.count("reroute_recomputations")
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    self.cycle,
+                    "reroute",
+                    dead_links=len(self._dead_links),
+                    dead_routers=len(self._dead_routers),
+                )
         for router in self.routers:
             if not router.dead:
                 router.invalidate_route_cache()
@@ -626,6 +675,10 @@ class Network:
         self._lost_packets.add(packet_id)
         self.stats.count("packets_lost")
         self.note_lost()
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                self.cycle, "packet_lost", packet=packet_id, reason="casualty"
+            )
 
     # -- delivery accounting ----------------------------------------------------
 
@@ -672,6 +725,9 @@ class Network:
         self._send_history.append(sends)
         if self.config.collect_utilization:
             self._sample_utilization()
+        tel = self.telemetry
+        if tel is not None:
+            tel.on_cycle_end(self)
         self.stats.cycles += 1
         self.cycle += 1
 
@@ -741,6 +797,9 @@ class Network:
         self._send_history.append(sends)
         if self.config.collect_utilization:
             self._sample_utilization()
+        tel = self.telemetry
+        if tel is not None:
+            tel.on_cycle_end(self)
         self.stats.cycles += 1
         self.cycle += 1
 

@@ -135,6 +135,9 @@ class Router:
         #: Optional bit-level cross-validation hook
         #: (:class:`repro.coding.payload_check.PayloadChecker`).
         self.payload_checker = payload_checker
+        #: Telemetry bus (``repro.telemetry``), wired by the Network when
+        #: telemetry is enabled; every publish site guards on None.
+        self.telemetry = None
         P = config.num_ports
         V = config.num_vcs
 
@@ -257,6 +260,16 @@ class Router:
                 self.stats.count("retransmission_rounds")
                 self.stats.count("link_errors_corrected")
                 self.stats.count("flits_retransmitted", added)
+                if self.telemetry is not None:
+                    self.telemetry.publish(
+                        cycle,
+                        "flit_replay",
+                        self.node,
+                        kind="link",
+                        port=port,
+                        vc=nack.vc,
+                        flits=added,
+                    )
         elif nack.kind == "route":
             # Replay copies at the rolled-back sequences are about to be
             # discarded as stale; the conservation invariant needs the tally.
@@ -271,6 +284,16 @@ class Router:
             owner = channel.allocated_to or channel.last_owner
             channel.release()
             self.stats.count("route_nack_rollbacks")
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle,
+                    "flit_replay",
+                    self.node,
+                    kind="route",
+                    port=port,
+                    vc=nack.vc,
+                    flits=len(flits),
+                )
             # Flit-granular tally (the rollback counter above is per event):
             # these flits re-enter the input pipeline from the uncounted
             # retransmission-buffer storage, so conservation needs the count.
@@ -394,6 +417,14 @@ class Router:
             # Arrivals into a permanently failed buffer vanish: no credit
             # (the upstream channel is torn down with it) and no NACK.
             self.stats.count("permanent_fault_flits_dropped")
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle,
+                    "flit_drop",
+                    self.node,
+                    reason="dead_vc",
+                    packet=flit.packet_id,
+                )
             if self.casualty_hook is not None:
                 self.casualty_hook(flit.packet_id)
             return
@@ -405,6 +436,14 @@ class Router:
             # fall through to normal processing; the drain flag only clears
             # once one is actually accepted, so a corrupt header that gets
             # NACKed and replayed is still handled correctly.
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle,
+                    "flit_drop",
+                    self.node,
+                    reason="drain",
+                    packet=flit.packet_id,
+                )
             if transfer.seq == ivc.expected_seq:
                 ivc.expected_seq += 1
                 ivc.nack_retries = 0
@@ -429,13 +468,41 @@ class Router:
                         )
                         self.stats.energy_event("nack")
                         self.stats.count("flits_dropped")
+                        if self.telemetry is not None:
+                            self.telemetry.publish(
+                                cycle,
+                                "nack",
+                                self.node,
+                                kind="link",
+                                port=port,
+                                vc=transfer.vc,
+                                seq=ivc.expected_seq,
+                                retry=ivc.nack_retries,
+                            )
                         return
                     # Endless-retransmission escape (Section 4.5): accept
                     # the corrupt copy rather than loop forever.
                     self.stats.count("retransmission_giveups")
+                    if self.telemetry is not None:
+                        self.telemetry.publish(
+                            cycle,
+                            "retransmission_giveup",
+                            self.node,
+                            port=port,
+                            vc=transfer.vc,
+                            packet=flit.packet_id,
+                        )
                     flit = self._materialize_corruption(flit, corruption)
                 else:
                     self.stats.count("flits_dropped")
+                    if self.telemetry is not None:
+                        self.telemetry.publish(
+                            cycle,
+                            "flit_drop",
+                            self.node,
+                            reason="out_of_window",
+                            packet=flit.packet_id,
+                        )
                     return
         elif corruption is not Corruption.NONE:
             # Unchecked schemes: the upset lands in the flit's fields.
@@ -446,6 +513,14 @@ class Router:
             # stray copy from an undetected SA fault, ...): silently dropped,
             # exactly what the sequence check in the receive logic does.
             self.stats.count("flits_dropped")
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle,
+                    "flit_drop",
+                    self.node,
+                    reason="out_of_window",
+                    packet=flit.packet_id,
+                )
             return
         ivc.expected_seq += 1
         ivc.nack_retries = 0
@@ -593,6 +668,15 @@ class Router:
             if self.deadlock.should_probe(cycle, ivc.blocked_cycles):
                 self._forward_signal(cycle, self.node, "probe", route[0], route[1], 0)
                 self.deadlock.note_probe_sent(cycle)
+                if self.telemetry is not None:
+                    self.telemetry.publish(
+                        cycle,
+                        "probe_launch",
+                        self.node,
+                        port=route[0],
+                        vc=route[1],
+                        blocked_cycles=ivc.blocked_cycles,
+                    )
 
     # -- RT stage -------------------------------------------------------------
 
@@ -636,6 +720,17 @@ class Router:
         link.send_nack(cycle, NackSignal(ivc.vc, header_seq, "route"))
         self.stats.energy_event("nack")
         self.stats.count("flits_dropped", dropped)
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                cycle,
+                "nack",
+                self.node,
+                kind="route",
+                port=ivc.port,
+                vc=ivc.vc,
+                seq=header_seq,
+                packet=head.packet_id,
+            )
         return True
 
     def _route(self, cycle: int, ivc: InputVC, head: Flit) -> None:
@@ -686,6 +781,14 @@ class Router:
     def _drop_unroutable(self, cycle: int, ivc: InputVC, head: Flit) -> None:
         """Tear down a packet the reconfigured tables cannot deliver."""
         self.stats.count("packets_unroutable")
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                cycle,
+                "flit_drop",
+                self.node,
+                reason="unroutable",
+                packet=head.packet_id,
+            )
         dropped = self._flush_input_vc(cycle, ivc, credit=True)
         self.stats.count("permanent_fault_flits_dropped", len(dropped))
         if not any(f.is_tail for f in dropped):
@@ -730,6 +833,10 @@ class Router:
         }
         grants = self.va.allocate(requests, available)
         if not grants:
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    cycle, "vc_alloc_fail", self.node, count=len(requests)
+                )
             return
 
         # Fault injection: perturb grants per Section 4.1's scenarios.  As
@@ -746,6 +853,13 @@ class Router:
             if flagged:
                 self.stats.count("va_errors_corrected", len(flagged))
                 grants = {k: v for k, v in grants.items() if k not in flagged}
+
+        if self.telemetry is not None:
+            failed = len(requests) - len(grants)
+            if failed:
+                self.telemetry.publish(
+                    cycle, "vc_alloc_fail", self.node, count=failed
+                )
 
         for requester, (out_port, out_vc) in grants.items():
             ivc = self.inputs[requester[0]][requester[1]]
@@ -1214,6 +1328,18 @@ class Router:
                 continue
             for channel in channels:
                 total += len(channel.replay_queue) + len(channel.absorption_queue)
+        return total
+
+    @property
+    def retx_occupancy(self) -> int:
+        """Occupied retransmission-buffer slots (replay + absorption +
+        barrel-shifter storage); the telemetry sampler's pressure numerator."""
+        total = 0
+        for port, channels in enumerate(self.outputs):
+            if port == int(Direction.LOCAL):
+                continue
+            for channel in channels:
+                total += channel.telemetry_occupancy
         return total
 
     @property

@@ -10,13 +10,15 @@ recovery counters.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.config import SimulationConfig
 from repro.noc.network import Network
 from repro.noc.packet import Packet
 from repro.power.energy import EnergyModel
+from repro.telemetry.report import TelemetryReport
 from repro.traffic.injection import InjectionProcess, PeriodicInjection
 from repro.traffic.patterns import TrafficPattern, make_traffic_pattern
 
@@ -39,6 +41,11 @@ class SimulationResult:
     counters: Dict[str, int] = field(default_factory=dict)
     energy_events: Dict[str, int] = field(default_factory=dict)
     hit_cycle_limit: bool = False
+    #: The run's :class:`~repro.telemetry.report.TelemetryReport`, or None
+    #: when telemetry was disabled.  Excluded from equality so telemetry-on
+    #: and telemetry-off runs of the same config compare equal on the
+    #: simulation observables.
+    telemetry: Optional[TelemetryReport] = field(default=None, compare=False)
 
     @property
     def throughput_flits_per_node_cycle(self) -> float:
@@ -50,6 +57,21 @@ class SimulationResult:
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
+
+    def to_dict(self, include_config: bool = True) -> Dict[str, Any]:
+        """JSON-safe dict form (see :func:`repro.serialization.result_to_dict`)."""
+        from repro.serialization import result_to_dict
+
+        return result_to_dict(self, include_config=include_config)
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Any], config: Optional[SimulationConfig] = None
+    ) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (telemetry reports do not round-trip)."""
+        from repro.serialization import result_from_dict
+
+        return result_from_dict(data, config=config)
 
     def summary_lines(self) -> str:
         lines = [
@@ -132,7 +154,7 @@ class Simulator:
                 measuring = True
             self.network.step()
             if self.sanitizer is not None:
-                self.sanitizer.check()
+                self._checked_sanitize()
         return self._build_result(hit_limit)
 
     def run_cycles(self, cycles: int, measure_from: int = 0) -> SimulationResult:
@@ -144,8 +166,26 @@ class Simulator:
             self._generate_traffic(self.network.cycle)
             self.network.step()
             if self.sanitizer is not None:
-                self.sanitizer.check()
+                self._checked_sanitize()
         return self._build_result(False)
+
+    def _checked_sanitize(self) -> None:
+        """Run the invariant sanitizer; on a violation, dump the telemetry
+        flight recorder onto the exception (``exc.flight_record``) so the
+        last events before the violation survive the crash."""
+        try:
+            self.sanitizer.check()
+        except Exception as exc:
+            bus = self.network.telemetry
+            if bus is not None:
+                bus.publish(
+                    self.network.cycle,
+                    "sanitizer_violation",
+                    error=type(exc).__name__,
+                    message=str(exc)[:200],
+                )
+                exc.flight_record = bus.flight_dicts()
+            raise
 
     def _build_result(self, hit_limit: bool) -> SimulationResult:
         self.network.finalize_stats()
@@ -157,6 +197,10 @@ class Simulator:
             )
         else:
             energy = 0.0
+        bus = self.network.telemetry
+        telemetry_report = (
+            bus.build_report(self.network) if bus is not None else None
+        )
         return SimulationResult(
             config=self.config,
             cycles=stats.cycles,
@@ -172,9 +216,36 @@ class Simulator:
             counters=dict(stats.counters),
             energy_events=energy_events,
             hit_cycle_limit=hit_limit,
+            telemetry=telemetry_report,
         )
 
 
-def run_simulation(config: SimulationConfig, **kwargs) -> SimulationResult:
-    """One-call convenience wrapper used by examples and benchmarks."""
-    return Simulator(config, **kwargs).run()
+def run_simulation(
+    config: SimulationConfig,
+    *,
+    pattern: Optional[TrafficPattern] = None,
+    injection: Optional[InjectionProcess] = None,
+    energy_model: Optional[EnergyModel] = None,
+    **deprecated: Any,
+) -> SimulationResult:
+    """One-call convenience wrapper used by examples and benchmarks.
+
+    The keyword surface is explicit (pattern, injection, energy_model);
+    unknown keywords are ignored with a :class:`DeprecationWarning` for
+    callers of the old ``**kwargs`` passthrough.
+    """
+    if deprecated:
+        warnings.warn(
+            "run_simulation() no longer forwards arbitrary keyword "
+            f"arguments; ignoring {sorted(deprecated)} (pass pattern=, "
+            "injection= or energy_model=, or construct a Simulator "
+            "directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return Simulator(
+        config,
+        pattern=pattern,
+        injection=injection,
+        energy_model=energy_model,
+    ).run()

@@ -62,12 +62,16 @@ class PacketTrace:
 class PacketTracer:
     """Scans a network each cycle for the flits of watched packets."""
 
-    def __init__(self, network: Network, watch: Iterable[int]):
+    def __init__(self, network: Network, watch: Iterable[int], telemetry=None):
         self.network = network
         self.watch: Set[int] = set(watch)
         self.traces: Dict[int, PacketTrace] = {
             pid: PacketTrace(pid) for pid in self.watch
         }
+        #: Telemetry bus sightings are mirrored onto (``trace_sighting``
+        #: events, very chatty).  Defaults to the network's own bus; pass
+        #: an explicit bus to divert, or ``False`` to disable mirroring.
+        self.telemetry = network.telemetry if telemetry is None else telemetry or None
 
     def step_and_observe(self) -> None:
         """Advance the network one cycle, then record sightings."""
@@ -76,11 +80,20 @@ class PacketTracer:
 
     def observe(self) -> None:
         cycle = self.network.cycle
+        bus = self.telemetry
         for packet_id, flit_seq, location in self._scan():
             if packet_id in self.watch:
                 self.traces[packet_id].sightings.append(
                     FlitSighting(cycle, packet_id, flit_seq, location)
                 )
+                if bus is not None:
+                    bus.publish(
+                        cycle,
+                        "trace_sighting",
+                        packet=packet_id,
+                        flit=flit_seq,
+                        location=location,
+                    )
 
     def _scan(self):
         net = self.network

@@ -6,6 +6,16 @@ package renders them as charts directly in the terminal, so the figure
 stack.
 """
 
-from repro.report.charts import AsciiChart, render_comparison_table, render_series
+from repro.report.charts import (
+    AsciiChart,
+    render_comparison_table,
+    render_heatmap,
+    render_series,
+)
 
-__all__ = ["AsciiChart", "render_comparison_table", "render_series"]
+__all__ = [
+    "AsciiChart",
+    "render_comparison_table",
+    "render_heatmap",
+    "render_series",
+]

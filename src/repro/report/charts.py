@@ -171,3 +171,33 @@ def _cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def render_heatmap(
+    grid: Sequence[Sequence[Optional[float]]],
+    title: str = "",
+    fmt: str = "{:.2f}",
+    empty: str = "·",
+) -> str:
+    """Render a mesh-shaped value grid (``TelemetryReport.heatmap``) as a
+    fixed-width table, row ``y=0`` at the bottom (matching node numbering).
+
+    ``None`` cells (no samples for that component) render as ``empty``.
+    """
+    if not grid or not grid[0]:
+        raise ValueError("need a non-empty grid")
+    cells = [
+        [empty if v is None else fmt.format(v) for v in row] for row in grid
+    ]
+    width = max(len(c) for row in cells for c in row)
+    gutter = len(str(len(grid) - 1)) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    for y in range(len(grid) - 1, -1, -1):
+        row = "  ".join(c.rjust(width) for c in cells[y])
+        lines.append(f"{f'y{y}':>{gutter}} |{row}")
+    lines.append(f"{'':>{gutter}} +{'-' * (len(grid[0]) * (width + 2) - 2)}")
+    xs = "  ".join(f"x{x}".rjust(width) for x in range(len(grid[0])))
+    lines.append(f"{'':>{gutter}}  {xs}")
+    return "\n".join(lines)

@@ -20,6 +20,8 @@ from repro.config import (
 )
 from repro.faults.permanent import PermanentFaultSchedule
 from repro.noc.simulator import SimulationResult
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.export import SCHEMA_VERSION
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
 
 
@@ -43,6 +45,7 @@ def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
         "payload_ecc_check": config.payload_ecc_check,
         "invariant_checks": config.invariant_checks,
         "activity_driven": config.activity_driven,
+        "telemetry": config.telemetry.to_dict(),
     }
 
 
@@ -71,6 +74,7 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
         payload_ecc_check=data.get("payload_ecc_check", False),
         invariant_checks=data.get("invariant_checks", False),
         activity_driven=data.get("activity_driven", True),
+        telemetry=TelemetryConfig.from_dict(data.get("telemetry")),
     )
 
 
@@ -82,10 +86,16 @@ def config_from_json(text: str) -> SimulationConfig:
     return config_from_dict(json.loads(text))
 
 
-def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
-    """A JSON-safe dict of a run's outcome, config included."""
-    return {
-        "config": config_to_dict(result.config),
+def result_to_dict(
+    result: SimulationResult, include_config: bool = True
+) -> Dict[str, Any]:
+    """A JSON-safe dict of a run's outcome.
+
+    ``include_config=False`` drops the embedded config copy — used by the
+    CLI envelopes, where the config rides at the envelope's top level
+    instead of inside each result.
+    """
+    out: Dict[str, Any] = {
         "cycles": result.cycles,
         "packets_injected": result.packets_injected,
         "packets_delivered": result.packets_delivered,
@@ -101,7 +111,73 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
         "counters": dict(result.counters),
         "energy_events": dict(result.energy_events),
     }
+    if include_config:
+        out["config"] = config_to_dict(result.config)
+    if result.telemetry is not None:
+        out["telemetry"] = result.telemetry.summary()
+    return out
+
+
+def result_from_dict(
+    data: Dict[str, Any], config: SimulationConfig = None
+) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`.
+
+    The config is taken from ``data["config"]`` when present, else from the
+    ``config`` argument (for dicts produced with ``include_config=False``).
+    Telemetry summaries are not reconstructed into reports — a round-tripped
+    result carries ``telemetry=None``.
+    """
+    if "config" in data:
+        cfg = config_from_dict(data["config"])
+    elif config is not None:
+        cfg = config
+    else:
+        raise ValueError(
+            "result dict has no embedded config; pass one via the "
+            "config= argument"
+        )
+    return SimulationResult(
+        config=cfg,
+        cycles=data["cycles"],
+        packets_injected=data["packets_injected"],
+        packets_delivered=data["packets_delivered"],
+        packets_lost=data["packets_lost"],
+        measured_packets=data["measured_packets"],
+        avg_latency=data["avg_latency"],
+        avg_hops=data["avg_hops"],
+        energy_per_packet_nj=data["energy_per_packet_nj"],
+        # throughput_flits_per_node_cycle is derived, not a field
+        tx_buffer_utilization=data["tx_buffer_utilization"],
+        retx_buffer_utilization=data["retx_buffer_utilization"],
+        counters=dict(data.get("counters", {})),
+        energy_events=dict(data.get("energy_events", {})),
+        hit_cycle_limit=data.get("hit_cycle_limit", False),
+    )
 
 
 def result_to_json(result: SimulationResult, indent: int = 2) -> str:
     return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def result_from_json(text: str) -> SimulationResult:
+    return result_from_dict(json.loads(text))
+
+
+def envelope(
+    command: str,
+    result: Any,
+    config: Dict[str, Any] = None,
+) -> Dict[str, Any]:
+    """The versioned ``repro/v1`` machine-output wrapper.
+
+    Every CLI subcommand's ``--json`` mode and the NDJSON telemetry header
+    share this shape, so downstream tooling can dispatch on ``schema`` and
+    ``command`` without sniffing payloads.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "command": command,
+        "config": config,
+        "result": result,
+    }

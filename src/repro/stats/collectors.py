@@ -219,6 +219,15 @@ class StatsCollector:
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
 
+    def snapshot(self, names) -> Dict[str, int]:
+        """Current values of the named counters (0 when never incremented).
+
+        Pure read — the telemetry sampler polls this every sampling tick, so
+        it must not create defaultdict entries as a side effect.
+        """
+        counters = self.counters
+        return {name: counters.get(name, 0) for name in names}
+
     def summary(self) -> Dict[str, float]:
         out: Dict[str, float] = {
             "cycles": self.cycles,

@@ -1,0 +1,45 @@
+"""Run-time observability: event bus, time-series sampling, NDJSON export.
+
+The simulator's fault-tolerance story (NACK storms, retransmission replays,
+probe circulation, buffer absorption) is dynamic, but end-of-run counters
+flatten all of it.  This package records the dynamics:
+
+* :class:`TelemetryBus` — components publish structured events (flit drops
+  and replays, NACKs, VC-allocation failures, probe launches/returns,
+  permanent-fault strikes, reroutes) and a per-cycle hook samples
+  per-component gauges (link utilization, VC occupancy, injection/ejection
+  rates, retransmission-buffer pressure) every ``metrics_interval`` cycles
+  into bounded ring buffers.
+* :class:`TelemetryReport` — the frozen outcome attached to
+  :class:`~repro.noc.simulator.SimulationResult`, with series/heatmap
+  accessors and the last-K-events flight recorder.
+* :mod:`repro.telemetry.export` — deterministic NDJSON export plus the line
+  validator CI's telemetry smoke job runs.
+
+Enable via ``SimulationConfig(telemetry=TelemetryConfig(enabled=True))`` or
+``repro run --telemetry out.ndjson``.  Disabled (the default), no bus
+exists and no callback fires — see docs/OBSERVABILITY.md.
+"""
+
+from repro.telemetry.bus import EVENT_KINDS, SERIES_METRICS, TelemetryBus, TelemetryEvent
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.export import (
+    SCHEMA_VERSION,
+    ndjson_lines,
+    validate_ndjson_lines,
+    write_ndjson,
+)
+from repro.telemetry.report import TelemetryReport
+
+__all__ = [
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "SERIES_METRICS",
+    "TelemetryBus",
+    "TelemetryConfig",
+    "TelemetryEvent",
+    "TelemetryReport",
+    "ndjson_lines",
+    "validate_ndjson_lines",
+    "write_ndjson",
+]

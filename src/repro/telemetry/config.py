@@ -1,0 +1,85 @@
+"""Telemetry configuration.
+
+Kept free of any :mod:`repro.config` import: ``SimulationConfig`` embeds a
+:class:`TelemetryConfig`, so this module must sit below it in the import
+graph (the same arrangement :mod:`repro.faults.permanent` uses for
+``FaultConfig.permanent``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What the telemetry layer records, and how much it may retain.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  When False the network carries no bus at all
+        (``Network.telemetry is None``) and no callback fires anywhere —
+        the zero-cost-when-disabled guarantee the benchmark floors rely on.
+    metrics_interval:
+        Cycles between time-series samples.  Every ``metrics_interval``-th
+        cycle the bus walks the network once and appends one sample per
+        (metric, component) series.
+    series_capacity:
+        Ring-buffer depth per series: only the most recent
+        ``series_capacity`` samples of each series are retained.
+    max_events:
+        Hard cap on retained events.  Once reached, further events are
+        dropped (newest-dropped, counted in ``dropped_events``) so a
+        saturation run cannot grow memory without bound.  The flight
+        recorder keeps running regardless.
+    flight_recorder_depth:
+        Length of the last-K-events flight recorder ring used for
+        forensics dumps on deadlock detection or sanitizer violations.
+    events:
+        Record discrete events (flit drops, NACKs, probes, faults, ...).
+    series:
+        Record sampled time-series (utilization, occupancy, rates, ...).
+    """
+
+    enabled: bool = False
+    metrics_interval: int = 100
+    series_capacity: int = 512
+    max_events: int = 100_000
+    flight_recorder_depth: int = 256
+    events: bool = True
+    series: bool = True
+
+    def __post_init__(self) -> None:
+        if self.metrics_interval < 1:
+            raise ValueError("metrics_interval must be at least one cycle")
+        if self.series_capacity < 1:
+            raise ValueError("series_capacity must be positive")
+        if self.max_events < 1:
+            raise ValueError("max_events must be positive")
+        if self.flight_recorder_depth < 1:
+            raise ValueError("flight_recorder_depth must be positive")
+
+    def replace(self, **changes: object) -> "TelemetryConfig":
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "TelemetryConfig":
+        """Inverse of :meth:`to_dict`; ``None``/missing keys take defaults
+        so configs serialized before the telemetry layer still load."""
+        if not data:
+            return cls()
+        return cls(
+            enabled=data.get("enabled", False),
+            metrics_interval=data.get("metrics_interval", 100),
+            series_capacity=data.get("series_capacity", 512),
+            max_events=data.get("max_events", 100_000),
+            flight_recorder_depth=data.get("flight_recorder_depth", 256),
+            events=data.get("events", True),
+            series=data.get("series", True),
+        )

@@ -1,0 +1,141 @@
+"""NDJSON export and validation of telemetry streams.
+
+Format (one JSON object per line, keys sorted, compact separators):
+
+* line 1 — the ``repro/v1`` envelope header::
+
+      {"schema": "repro/v1", "command": "telemetry",
+       "config": {...} | null, "result": {<report summary>}}
+
+* then one line per retained event::
+
+      {"type": "event", "cycle": C, "kind": K, "node": N, "data": {...}}
+
+* then one line per time-series sample, grouped by sorted
+  (metric, component) key::
+
+      {"type": "sample", "cycle": C, "metric": M, "component": X, "value": V}
+
+Everything is deterministic for a seeded run (no timestamps, no floats
+beyond what the simulator itself computed), so a committed golden file can
+assert the whole stream byte-for-byte across Python versions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.telemetry.report import TelemetryReport
+
+#: Versioned schema tag shared with the CLI's ``--json`` envelopes.
+SCHEMA_VERSION = "repro/v1"
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def ndjson_lines(
+    report: TelemetryReport, config: Optional[Dict[str, Any]] = None
+) -> Iterator[str]:
+    """Yield the NDJSON lines for a report (no trailing newlines)."""
+    yield _dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "command": "telemetry",
+            "config": config,
+            "result": report.summary(),
+        }
+    )
+    for event in report.events:
+        yield _dumps(event.to_dict())
+    for metric, component in sorted(report.series):
+        for cycle, value in report.series[(metric, component)]:
+            yield _dumps(
+                {
+                    "type": "sample",
+                    "cycle": cycle,
+                    "metric": metric,
+                    "component": component,
+                    "value": value,
+                }
+            )
+
+
+def write_ndjson(
+    report: TelemetryReport,
+    path: str,
+    config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write a report's NDJSON stream to ``path``; returns the summary."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in ndjson_lines(report, config):
+            handle.write(line)
+            handle.write("\n")
+    return report.summary()
+
+
+def validate_ndjson_lines(lines: Iterable[str]) -> List[str]:
+    """Validate an NDJSON stream against the event/sample schema.
+
+    Returns a list of human-readable problems (empty means valid).  Used by
+    the golden-file tests and ``tools/validate_telemetry.py`` (the CI
+    telemetry smoke job).
+    """
+    from repro.telemetry.bus import EVENT_KINDS
+
+    problems: List[str] = []
+    count = 0
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        count += 1
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(obj, dict):
+            problems.append(f"line {lineno}: expected a JSON object")
+            continue
+        if count == 1:
+            if obj.get("schema") != SCHEMA_VERSION:
+                problems.append(
+                    f"line {lineno}: header schema is {obj.get('schema')!r}, "
+                    f"expected {SCHEMA_VERSION!r}"
+                )
+            if obj.get("command") != "telemetry":
+                problems.append(f"line {lineno}: header command must be 'telemetry'")
+            if not isinstance(obj.get("result"), dict):
+                problems.append(f"line {lineno}: header is missing its result summary")
+            continue
+        kind = obj.get("type")
+        if kind == "event":
+            if obj.get("kind") not in EVENT_KINDS:
+                problems.append(
+                    f"line {lineno}: unknown event kind {obj.get('kind')!r}"
+                )
+            if not isinstance(obj.get("cycle"), int) or obj["cycle"] < 0:
+                problems.append(f"line {lineno}: event cycle must be a non-negative int")
+            if not isinstance(obj.get("node"), int):
+                problems.append(f"line {lineno}: event node must be an int")
+            if "data" in obj and not isinstance(obj["data"], dict):
+                problems.append(f"line {lineno}: event data must be an object")
+        elif kind == "sample":
+            if not isinstance(obj.get("metric"), str):
+                problems.append(f"line {lineno}: sample metric must be a string")
+            if not isinstance(obj.get("component"), str):
+                problems.append(f"line {lineno}: sample component must be a string")
+            if not isinstance(obj.get("cycle"), int) or obj["cycle"] < 0:
+                problems.append(f"line {lineno}: sample cycle must be a non-negative int")
+            if not isinstance(obj.get("value"), (int, float)) or isinstance(
+                obj.get("value"), bool
+            ):
+                problems.append(f"line {lineno}: sample value must be a number")
+        else:
+            problems.append(f"line {lineno}: unknown line type {kind!r}")
+    if count == 0:
+        problems.append("stream is empty (expected at least a header line)")
+    return problems

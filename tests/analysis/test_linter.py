@@ -97,9 +97,12 @@ class TestLintCLI:
     def test_json_output_is_parseable(self, capsys):
         rc = main(["lint", "--json", "--routing", "fully_adaptive"])
         assert rc == 1
-        payload = json.loads(capsys.readouterr().out)
-        assert payload[0]["rule_id"] == "NOC004"
-        assert payload[0]["witness"]
+        env = json.loads(capsys.readouterr().out)
+        assert env["schema"] == "repro/v1"
+        assert env["command"] == "lint"
+        diagnostics = env["result"]
+        assert diagnostics[0]["rule_id"] == "NOC004"
+        assert diagnostics[0]["witness"]
 
     def test_rules_listing(self, capsys):
         assert main(["lint", "--rules"]) == 0

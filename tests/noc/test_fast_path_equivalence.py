@@ -224,3 +224,65 @@ def test_serialization_round_trips_the_flag():
     for flag in (True, False):
         config = SimulationConfig(activity_driven=flag)
         assert config_from_dict(config_to_dict(config)).activity_driven is flag
+
+
+# -- telemetry equivalence ---------------------------------------------------
+#
+# With telemetry enabled, both loops must produce (a) the same simulation
+# observables as each other AND as the telemetry-off run, and (b) identical
+# event streams and sampled series.  Events fire only inside state changes
+# that are themselves loop-invariant, and sampling is a pure read at fixed
+# cycles, so any divergence here means a publish site leaked into scheduling.
+
+from repro.telemetry import TelemetryConfig  # noqa: E402
+
+TELEMETRY_SCENARIOS = [
+    "xy_link_faults",
+    "west_first_all_fault_sites",
+    "adaptive_deadlock_recovery",
+    "permanent_storm_doa_and_vc",
+]
+
+
+def _telemetry_config(activity_driven, **kw):
+    config = _config(activity_driven, **kw)
+    return SimulationConfig(
+        noc=config.noc,
+        faults=config.faults,
+        workload=config.workload,
+        activity_driven=activity_driven,
+        invariant_checks=config.invariant_checks,
+        telemetry=TelemetryConfig(enabled=True, metrics_interval=50),
+    )
+
+
+def _telemetry_streams(config):
+    result = run_simulation(config)
+    report = result.telemetry
+    observables = result_to_dict(result)
+    observables.pop("config")
+    observables.pop("telemetry", None)
+    events = [
+        (e.cycle, e.kind, e.node, tuple(sorted(e.data.items())))
+        for e in report.events
+    ]
+    return observables, events, report.series
+
+
+@pytest.mark.parametrize("scenario", TELEMETRY_SCENARIOS)
+def test_telemetry_streams_are_loop_invariant(scenario):
+    kw = SCENARIOS[scenario]
+    fast = _telemetry_streams(_telemetry_config(True, **kw))
+    full = _telemetry_streams(_telemetry_config(False, **kw))
+    assert fast[0] == full[0]  # observables
+    assert fast[1] == full[1]  # event stream
+    assert fast[2] == full[2]  # sampled series
+
+
+@pytest.mark.parametrize("activity_driven", [True, False])
+def test_telemetry_does_not_perturb_observables(activity_driven):
+    """Telemetry on vs off: identical results on either loop."""
+    kw = SCENARIOS["xy_all_sites_alt_seed"]
+    with_tel = _telemetry_streams(_telemetry_config(activity_driven, **kw))[0]
+    without = _observables(_config(activity_driven, **kw))
+    assert with_tel == without

@@ -166,6 +166,95 @@ class TestDegradeCommand:
             ]
         )
         assert rc == 0
-        points = json.loads(capsys.readouterr().out)
+        env = json.loads(capsys.readouterr().out)
+        assert env["schema"] == "repro/v1"
+        assert env["command"] == "degrade"
+        assert env["config"]["width"] == 4
+        points = env["result"]
         assert [p["kills"] for p in points] == [0, 1]
         assert points[0]["delivery_rate"] == 1.0
+
+
+class TestJsonEnvelopes:
+    """Every --json subcommand wraps its payload in the repro/v1 envelope."""
+
+    def _parse(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_run_envelope(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--width", "3", "--height", "3",
+                "--messages", "80", "--warmup", "10",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        env = self._parse(capsys)
+        assert env["schema"] == "repro/v1"
+        assert env["command"] == "run"
+        assert env["config"]["noc"]["width"] == 3
+        assert env["result"]["packets_delivered"] == 80
+        assert "config" not in env["result"]  # config lives in the envelope
+
+    def test_lint_envelope(self, capsys):
+        rc = main(["lint", "--width", "4", "--height", "4", "--json"])
+        assert rc == 0
+        env = self._parse(capsys)
+        assert env["schema"] == "repro/v1"
+        assert env["command"] == "lint"
+        assert isinstance(env["result"], list)
+
+    def test_sweep_envelope(self, capsys):
+        rc = main(
+            ["sweep", "--messages", "80", "--rates", "0.05", "0.1", "--json"]
+        )
+        assert rc == 0
+        env = self._parse(capsys)
+        assert env["schema"] == "repro/v1"
+        assert env["command"] == "sweep"
+        assert [p["rate"] for p in env["result"]] == [0.05, 0.1]
+        assert all(p["result"]["cycles"] > 0 for p in env["result"])
+
+
+class TestTelemetryFlag:
+    def test_run_writes_valid_ndjson(self, capsys, tmp_path):
+        from repro.telemetry import validate_ndjson_lines
+
+        out_path = tmp_path / "run.ndjson"
+        rc = main(
+            [
+                "run",
+                "--width", "4", "--height", "4",
+                "--messages", "120", "--warmup", "20",
+                "--link-error-rate", "0.02",
+                "--telemetry", str(out_path),
+                "--metrics-interval", "50",
+            ]
+        )
+        assert rc == 0
+        assert "telemetry:" in capsys.readouterr().out
+        lines = out_path.read_text().splitlines()
+        assert len(lines) > 1
+        assert validate_ndjson_lines(lines) == []
+
+    def test_telemetry_summary_in_json_result(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "run.ndjson"
+        rc = main(
+            [
+                "run",
+                "--width", "3", "--height", "3",
+                "--messages", "60", "--warmup", "10",
+                "--telemetry", str(out_path),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        env = json.loads(capsys.readouterr().out)
+        assert env["config"]["telemetry"]["enabled"] is True
+        assert env["result"]["telemetry"]["samples"] >= 0

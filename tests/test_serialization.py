@@ -7,10 +7,14 @@ import pytest
 from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
 from repro.noc.simulator import run_simulation
 from repro.serialization import (
+    SCHEMA_VERSION,
     config_from_dict,
     config_from_json,
     config_to_dict,
     config_to_json,
+    envelope,
+    result_from_dict,
+    result_from_json,
     result_to_dict,
     result_to_json,
 )
@@ -93,3 +97,66 @@ class TestResultSerialization:
         assert data["config"]["noc"]["width"] == 3
         parsed = json.loads(result_to_json(result))
         assert parsed["avg_latency"] == pytest.approx(result.avg_latency)
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_simulation(
+            SimulationConfig(
+                noc=NoCConfig(width=3, height=3),
+                faults=FaultConfig.link_only(0.02, seed=5),
+                workload=WorkloadConfig(
+                    injection_rate=0.2, num_messages=100, warmup_messages=20
+                ),
+            )
+        )
+
+    def _assert_same(self, a, b):
+        assert b.config == a.config
+        assert b.cycles == a.cycles
+        assert b.packets_delivered == a.packets_delivered
+        assert b.avg_latency == a.avg_latency
+        assert b.counters == a.counters
+        assert b.energy_events == a.energy_events
+        assert (
+            b.throughput_flits_per_node_cycle
+            == a.throughput_flits_per_node_cycle
+        )
+
+    def test_dict_roundtrip(self, result):
+        self._assert_same(result, result_from_dict(result_to_dict(result)))
+
+    def test_json_roundtrip(self, result):
+        self._assert_same(result, result_from_json(result_to_json(result)))
+
+    def test_roundtrip_without_embedded_config(self, result):
+        data = result_to_dict(result, include_config=False)
+        assert "config" not in data
+        self._assert_same(result, result_from_dict(data, config=result.config))
+
+    def test_missing_config_rejected(self, result):
+        data = result_to_dict(result, include_config=False)
+        with pytest.raises(ValueError, match="no embedded config"):
+            result_from_dict(data)
+
+    def test_from_dict_classmethod(self, result):
+        restored = type(result).from_dict(result_to_dict(result))
+        self._assert_same(result, restored)
+
+
+class TestEnvelope:
+    def test_shape(self):
+        env = envelope("run", {"cycles": 7}, config={"noc": {"width": 4}})
+        assert env == {
+            "schema": SCHEMA_VERSION,
+            "command": "run",
+            "config": {"noc": {"width": 4}},
+            "result": {"cycles": 7},
+        }
+        assert env["schema"] == "repro/v1"
+
+    def test_config_optional(self):
+        env = envelope("lint", [])
+        assert env["config"] is None
+        assert env["result"] == []
