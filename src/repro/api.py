@@ -7,6 +7,8 @@ instead of the internal class constellation:
 * :func:`load_config` — build a :class:`SimulationConfig` from a JSON file,
   a JSON string, a serialized dict, or keyword overrides.
 * :func:`run` — run one simulation (telemetry and tracing optional).
+* :func:`resume` — finish an interrupted run from a checkpoint file
+  (:mod:`repro.checkpoint`; bit-for-bit equal to the uninterrupted run).
 * :func:`sweep` — latency vs injection rate over one config.
 * :func:`lint` — the static NOC0xx / deadlock-freedom checks.
 * :func:`degrade` — the graceful-degradation campaign.
@@ -32,6 +34,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.analysis.linter import DiagnosticReport, lint_config, lint_paths
+from repro.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_checkpoint_header,
+    resume_from,
+    save_checkpoint,
+)
 from repro.config import (
     FaultConfig,
     NoCConfig,
@@ -55,6 +64,7 @@ from repro.telemetry import (
 )
 
 __all__ = [
+    "CheckpointError",
     "DegradationPoint",
     "DiagnosticReport",
     "FaultConfig",
@@ -70,10 +80,15 @@ __all__ = [
     "degrade",
     "envelope",
     "lint",
+    "load_checkpoint",
     "load_config",
+    "read_checkpoint_header",
     "result_from_dict",
     "result_to_dict",
+    "resume",
+    "resume_from",
     "run",
+    "save_checkpoint",
     "sweep",
     "validate_ndjson_lines",
     "write_ndjson",
@@ -159,7 +174,13 @@ def _apply_overrides(data: Dict[str, Any], overrides: Dict[str, Any]) -> None:
             data.setdefault("noc", {})[key] = value
         elif key in _WORKLOAD_FIELDS:
             data.setdefault("workload", {})[key] = value
-        elif key in ("invariant_checks", "activity_driven", "collect_power"):
+        elif key in (
+            "invariant_checks",
+            "activity_driven",
+            "collect_power",
+            "checkpoint_interval",
+            "checkpoint_path",
+        ):
             data[key] = value
         else:
             raise TypeError(f"load_config() got an unknown override {key!r}")
@@ -187,6 +208,27 @@ def run(
     if telemetry_path is not None and result.telemetry is not None:
         write_ndjson(
             result.telemetry, telemetry_path, config=config_to_dict(cfg)
+        )
+    return result
+
+
+def resume(
+    path: Union[str, Path],
+    *,
+    telemetry_path: Optional[Union[str, Path]] = None,
+) -> SimulationResult:
+    """Finish an interrupted run from its checkpoint file.
+
+    Bit-for-bit equivalent to never having been interrupted (see
+    docs/CHECKPOINTING.md).  ``telemetry_path`` exports the NDJSON stream
+    after completion, exactly as :func:`run` would have."""
+    sim = load_checkpoint(path)
+    result = sim.run()
+    if telemetry_path is not None and result.telemetry is not None:
+        write_ndjson(
+            result.telemetry,
+            telemetry_path,
+            config=config_to_dict(sim.config),
         )
     return result
 

@@ -177,6 +177,9 @@ def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
         },
         "invariant_checks": getattr(args, "invariant_checks", False),
     }
+    if getattr(args, "checkpoint", None):
+        out["checkpoint_path"] = args.checkpoint
+        out["checkpoint_interval"] = getattr(args, "checkpoint_interval", None)
     if getattr(args, "telemetry", None):
         out["telemetry"] = {
             "enabled": True,
@@ -213,6 +216,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=100,
         help="cycles between telemetry time-series samples (with --telemetry)",
+    )
+    run.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="periodically snapshot the run here (crash-safe, atomic; "
+        "pair with --checkpoint-interval)",
+    )
+    run.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        metavar="N",
+        help="cycles between checkpoints (requires --checkpoint)",
+    )
+    run.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a previous run from its checkpoint file instead of "
+        "starting fresh (platform/workload flags are ignored: the "
+        "checkpoint carries the original config)",
     )
 
     lint = sub.add_parser(
@@ -305,12 +327,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis import InvariantViolationError
-    from repro.noc.simulator import run_simulation
     from repro.serialization import config_from_dict
 
-    config = config_from_dict(_platform_dict(args))
+    if (args.checkpoint_interval is None) != (args.checkpoint is None):
+        print(
+            "error: --checkpoint and --checkpoint-interval must be used "
+            "together",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume:
+        from repro.checkpoint import CheckpointError, load_checkpoint
+
+        try:
+            sim = load_checkpoint(args.resume)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        config = sim.config
+        print(
+            f"resuming from {args.resume} at cycle {sim.resumed_from_cycle}",
+            file=sys.stderr,
+        )
+    else:
+        from repro.noc.simulator import Simulator
+
+        config = config_from_dict(_platform_dict(args))
+        sim = Simulator(config)
     try:
-        result = run_simulation(config)
+        result = sim.run()
     except InvariantViolationError as exc:
         print("simulation aborted: invariant violation", file=sys.stderr)
         for diag in exc.diagnostics:

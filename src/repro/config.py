@@ -300,6 +300,15 @@ class SimulationConfig:
     ``docs/PERFORMANCE.md`` and ``tests/noc/test_fast_path_equivalence.py``);
     the flag exists so equivalence can be re-validated after changes to the
     hot path and so regressions can be bisected to the scheduling layer.
+
+    ``checkpoint_interval`` / ``checkpoint_path`` enable periodic crash-safe
+    checkpointing (:mod:`repro.checkpoint`): every ``checkpoint_interval``
+    cycles the simulator atomically rewrites ``checkpoint_path`` with a
+    complete snapshot, from which ``resume_from(path)`` continues the run
+    bit-for-bit (see docs/CHECKPOINTING.md).  Both must be set together;
+    the schedule is cycle-based so an interrupted-and-resumed run writes
+    the same remaining checkpoints (and counts them identically) as an
+    uninterrupted one.
     """
 
     noc: NoCConfig = field(default_factory=NoCConfig)
@@ -311,6 +320,16 @@ class SimulationConfig:
     invariant_checks: bool = False
     activity_driven: bool = True
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    checkpoint_interval: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1 cycle")
+        if (self.checkpoint_interval is None) != (self.checkpoint_path is None):
+            raise ValueError(
+                "checkpoint_interval and checkpoint_path must be set together"
+            )
 
     def replace(self, **changes: object) -> "SimulationConfig":
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]

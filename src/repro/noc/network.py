@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.config import SimulationConfig
 from repro.core.schemes import DeliveryAction, destination_policy
@@ -245,20 +245,22 @@ class NetworkInterface:
                 self.stats.count("packets_delivered_corrupt")
             self.network.note_delivered()
             if scheme is LinkProtection.E2E and head.src_error is not Corruption.MULTI:
-                src_ni = self.network.interfaces[head.src]
                 delay = self.network.topology.distance(self.node, head.src)
                 self.network.schedule(
                     cycle + max(1, delay),
-                    lambda pid=head.packet_id: src_ni.release(pid),
+                    "e2e_release",
+                    head.src,
+                    head.packet_id,
                 )
         elif action is DeliveryAction.REQUEST_RETRANSMISSION:
             assert decision.source is not None
             self.stats.count("e2e_retransmissions")
-            src_ni = self.network.interfaces[decision.source]
             delay = self.network.topology.distance(self.node, decision.source)
             self.network.schedule(
                 cycle + max(1, delay),
-                lambda pid=head.packet_id: src_ni.retransmit(pid),
+                "e2e_retransmit",
+                decision.source,
+                head.packet_id,
             )
         elif action is DeliveryAction.FORWARD_TO_TRUE_DST:
             assert decision.destination is not None
@@ -410,7 +412,11 @@ class Network:
         self.cycle = 0
         self.delivered = 0
         self.lost = 0
-        self._events: List[Tuple[int, int, Callable[[], None]]] = []
+        # Scheduled reverse-path E2E messages as plain data records
+        # (cycle, seq, kind, node, packet_id) rather than closures: the
+        # heap is part of the checkpointable state (docs/CHECKPOINTING.md)
+        # and pickled closures would not round-trip.
+        self._events: List[Tuple[int, int, str, int, int]] = []
         self._event_seq = 0
         self._send_history: Deque[int] = deque(
             [0] * noc.retx_buffer_depth, maxlen=noc.retx_buffer_depth
@@ -483,14 +489,27 @@ class Network:
 
     # -- event scheduling (contention-free reverse-path messages) -------------
 
-    def schedule(self, cycle: int, action: Callable[[], None]) -> None:
+    #: Dispatch table for :meth:`schedule` records.  Kinds map to the NI
+    #: methods modelling the contention-free reverse path of the E2E scheme
+    #: (ACK releases the source copy, NACK triggers a retransmission).
+    EVENT_KINDS = ("e2e_release", "e2e_retransmit")
+
+    def schedule(self, cycle: int, kind: str, node: int, packet_id: int) -> None:
+        if kind not in self.EVENT_KINDS:  # pragma: no cover - programming error
+            raise ValueError(f"unknown scheduled-event kind {kind!r}")
         self._event_seq += 1
-        heapq.heappush(self._events, (cycle, self._event_seq, action))
+        heapq.heappush(
+            self._events, (cycle, self._event_seq, kind, node, packet_id)
+        )
 
     def _run_due_events(self) -> None:
         while self._events and self._events[0][0] <= self.cycle:
-            _, _, action = heapq.heappop(self._events)
-            action()
+            _, _, kind, node, packet_id = heapq.heappop(self._events)
+            ni = self.interfaces[node]
+            if kind == "e2e_release":
+                ni.release(packet_id)
+            else:
+                ni.retransmit(packet_id)
 
     # -- permanent faults -------------------------------------------------------
 

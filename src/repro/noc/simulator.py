@@ -109,6 +109,14 @@ class Simulator:
         )
         self.energy_model = energy_model or EnergyModel()
         self._next_packet_id = 0
+        #: Set while :meth:`should_continue` trips the max_cycles guard, so
+        #: a resumed run rebuilds the same result as an uninterrupted one.
+        self._hit_limit = False
+        #: Cycle this simulator was restored at by
+        #: :func:`repro.checkpoint.load_checkpoint`, or None for a fresh
+        #: run.  Deliberately *not* a stats counter: resumed and
+        #: uninterrupted runs must produce identical counters.
+        self.resumed_from_cycle: Optional[int] = None
         self.sanitizer = None
         if config.invariant_checks:
             from repro.analysis.sanitizer import InvariantSanitizer
@@ -140,22 +148,66 @@ class Simulator:
     # -- the run loop --------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        """Run (or, after :func:`repro.checkpoint.load_checkpoint`, finish)
+        the closed-loop schedule and build the result.
+
+        All loop state lives on the simulator/network objects — not in
+        locals — so a checkpointed simulator resumes mid-run bit-for-bit.
+        """
+        while self.should_continue():
+            self.advance()
+        return self._build_result(self._hit_limit)
+
+    def should_continue(self) -> bool:
+        """True while the closed-loop run has cycles left to simulate."""
         workload = self.config.workload
+        if self.network.completed >= workload.num_messages:
+            return False
+        if self.network.cycle >= workload.max_cycles:
+            self._hit_limit = True
+            return False
+        return True
+
+    def advance(self) -> None:
+        """One closed-loop scheduling quantum: inject traffic, open the
+        measurement window once warmup completes, step the network, run the
+        optional sanitizer, and honour the auto-checkpoint schedule."""
         stats = self.network.stats
-        measuring = False
-        hit_limit = False
-        while self.network.completed < workload.num_messages:
-            if self.network.cycle >= workload.max_cycles:
-                hit_limit = True
-                break
-            self._generate_traffic(self.network.cycle)
-            if not measuring and self.network.completed >= workload.warmup_messages:
-                stats.start_measurement()
-                measuring = True
-            self.network.step()
-            if self.sanitizer is not None:
-                self._checked_sanitize()
-        return self._build_result(hit_limit)
+        self._generate_traffic(self.network.cycle)
+        if (
+            not stats.measuring
+            and self.network.completed >= self.config.workload.warmup_messages
+        ):
+            stats.start_measurement()
+        self.network.step()
+        if self.sanitizer is not None:
+            self._checked_sanitize()
+        interval = self.config.checkpoint_interval
+        if interval is not None and self.network.cycle % interval == 0:
+            self.write_checkpoint()
+
+    def run_to_cycle(self, cycle: int) -> None:
+        """Advance the closed-loop schedule up to ``cycle`` (stopping early
+        at the run's natural end) without building a result — the partial-run
+        primitive behind checkpoint tests and the overhead benchmark."""
+        while self.network.cycle < cycle and self.should_continue():
+            self.advance()
+
+    def write_checkpoint(self, path: Optional[str] = None) -> None:
+        """Snapshot this simulator to ``path`` (default: the configured
+        ``checkpoint_path``).  Counted as ``checkpoints_written`` *before*
+        pickling, so the snapshot already includes its own write and a
+        resumed run's counters match an uninterrupted one."""
+        from repro.checkpoint import save_checkpoint
+
+        target = path if path is not None else self.config.checkpoint_path
+        if target is None:
+            raise ValueError(
+                "no checkpoint path: pass path= or set "
+                "SimulationConfig.checkpoint_path"
+            )
+        self.network.stats.count("checkpoints_written")
+        save_checkpoint(self, target)
 
     def run_cycles(self, cycles: int, measure_from: int = 0) -> SimulationResult:
         """Run a fixed number of cycles (open-loop experiments)."""

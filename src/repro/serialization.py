@@ -46,6 +46,8 @@ def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
         "invariant_checks": config.invariant_checks,
         "activity_driven": config.activity_driven,
         "telemetry": config.telemetry.to_dict(),
+        "checkpoint_interval": config.checkpoint_interval,
+        "checkpoint_path": config.checkpoint_path,
     }
 
 
@@ -75,6 +77,8 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
         invariant_checks=data.get("invariant_checks", False),
         activity_driven=data.get("activity_driven", True),
         telemetry=TelemetryConfig.from_dict(data.get("telemetry")),
+        checkpoint_interval=data.get("checkpoint_interval"),
+        checkpoint_path=data.get("checkpoint_path"),
     )
 
 

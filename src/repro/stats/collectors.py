@@ -94,6 +94,11 @@ counter                               incremented when
                                       can never arrive
 ``reroute_recomputations``            the fault-aware routing tables are
                                       rebuilt after a topology change
+``checkpoints_written``               the auto-checkpoint schedule snapshots
+                                      the run (counted before pickling, so a
+                                      resumed run's counters still match an
+                                      uninterrupted one — see
+                                      docs/CHECKPOINTING.md)
 ====================================  =========================================
 """
 

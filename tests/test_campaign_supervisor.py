@@ -1,0 +1,197 @@
+"""The supervised campaign runner: timeouts, crash isolation, resume.
+
+These tests use real worker processes (the supervisor's whole point is
+that SIGKILL-level failures cannot wedge it), so hang detection is
+exercised with configs whose natural runtime is minutes against
+sub-second watchdogs, and progress-despite-timeouts is calibrated against
+the machine's measured simulation speed instead of hard-coded workloads.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.checkpoint import save_checkpoint
+from repro.config import NoCConfig, SimulationConfig, WorkloadConfig
+from repro.noc.simulator import Simulator
+
+
+def _small(**workload_kw):
+    kw = dict(
+        num_messages=120,
+        warmup_messages=20,
+        injection_rate=0.1,
+        seed=3,
+    )
+    kw.update(workload_kw)
+    return SimulationConfig(
+        noc=NoCConfig(width=3, height=3), workload=WorkloadConfig(**kw)
+    )
+
+
+def _endless():
+    """A config whose natural runtime is minutes — watchdog fodder."""
+    return SimulationConfig(
+        noc=NoCConfig(width=8, height=8),
+        workload=WorkloadConfig(
+            num_messages=50_000_000,
+            warmup_messages=100,
+            injection_rate=0.45,
+            max_cycles=500_000_000,
+        ),
+    )
+
+
+def _crashing():
+    """Constructors accept it; the Simulator rejects the pattern at start."""
+    return SimulationConfig(
+        noc=NoCConfig(width=3, height=3),
+        workload=WorkloadConfig(
+            pattern="no_such_pattern", num_messages=50, warmup_messages=5
+        ),
+    )
+
+
+class TestSupervisedBasics:
+    def test_clean_run_matches_in_process_runner(self):
+        config = _small()
+        [legacy] = run_campaign([("v", config)])
+        [supervised] = run_campaign([("v", config)], timeout=120.0)
+        assert supervised.error is None
+        assert supervised.avg_latency == legacy.avg_latency
+        assert supervised.counters == legacy.counters
+        assert supervised.metadata["attempts"] == 1
+        assert supervised.metadata["resumed_from_cycle"] is None
+
+    def test_crashing_variant_isolated(self):
+        rows = run_campaign(
+            [("bad", _crashing()), ("good", _small())],
+            timeout=120.0,
+            processes=2,
+            lint=False,
+        )
+        by_name = {r.name: r for r in rows}
+        assert by_name["bad"].failed
+        assert "no_such_pattern" in by_name["bad"].error
+        assert by_name["bad"].metadata["resumed_from_cycle"] is None
+        assert not by_name["good"].failed
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="timeout"):
+            run_campaign([("v", _small())], timeout=0.0)
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            run_campaign(
+                [("v", _small())], checkpoint_dir="x", checkpoint_interval=0
+            )
+
+
+class TestTimeout:
+    def test_hung_variant_killed_and_marked(self):
+        """A variant that would run for minutes comes back as a failed
+        row with error="timeout" in roughly the watchdog interval, and
+        healthy variants sharing the pool still complete."""
+        start = time.monotonic()
+        rows = run_campaign(
+            [("hang", _endless()), ("ok", _small())],
+            processes=2,
+            timeout=1.0,
+            lint=False,
+        )
+        elapsed = time.monotonic() - start
+        by_name = {r.name: r for r in rows}
+        assert by_name["hang"].failed
+        assert by_name["hang"].error == "timeout"
+        assert by_name["hang"].metadata["attempts"] == 1
+        assert not by_name["ok"].failed
+        assert elapsed < 30.0  # killed, not joined to completion
+
+    def test_timeout_with_checkpoints_reports_last_durable_cycle(
+        self, tmp_path
+    ):
+        rows = run_campaign(
+            [("hang", _endless())],
+            timeout=3.0,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_interval=25,
+            lint=False,
+        )
+        [row] = rows
+        assert row.error == "timeout"
+        # An 8x8 saturation run crosses cycle 25 within milliseconds, so
+        # at least one checkpoint landed before the kill.
+        assert row.metadata["last_checkpoint_cycle"] >= 25
+        assert os.path.exists(tmp_path / "variant_0000.ckpt")
+
+
+class TestResumeOnRetry:
+    def test_retry_resumes_from_existing_checkpoint(self, tmp_path):
+        """A checkpoint left behind by a killed attempt is picked up by
+        the next attempt, which finishes with the same metrics as an
+        uninterrupted run of the same config."""
+        config = _small()
+        [golden] = run_campaign([("v", config)])
+        ckpt = tmp_path / "variant_0000.ckpt"
+        sim = Simulator(
+            config.replace(checkpoint_interval=50, checkpoint_path=str(ckpt))
+        )
+        sim.run_to_cycle(60)
+        save_checkpoint(sim, ckpt)  # what a killed attempt leaves behind
+        del sim
+        [row] = run_campaign(
+            [("v", config)],
+            checkpoint_dir=str(tmp_path),
+            checkpoint_interval=50,
+        )
+        assert row.error is None
+        assert row.metadata["resumed_from_cycle"] == 60
+        assert row.avg_latency == golden.avg_latency
+        assert row.packets_delivered == golden.packets_delivered
+        assert not ckpt.exists()  # cleaned up after success
+
+    def test_killed_attempts_accumulate_progress_to_completion(
+        self, tmp_path
+    ):
+        """The headline behaviour: a watchdog window too short for the
+        whole run still converges, because each attempt resumes from the
+        last attempt's checkpoint instead of cycle 0.  The workload is
+        calibrated to ~6 timeout windows on this machine."""
+        probe_config = _small(num_messages=10_000_000, max_cycles=600)
+        t0 = time.monotonic()
+        probe = Simulator(probe_config)
+        probe.run()
+        cps = 600 / max(time.monotonic() - t0, 1e-6)
+        timeout = 0.8
+        total_cycles = max(int(cps * timeout * 6), 1200)
+        config = _small(
+            num_messages=10_000_000, max_cycles=total_cycles
+        )
+        [row] = run_campaign(
+            [("long", config)],
+            timeout=timeout,
+            retries=40,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_interval=max(total_cycles // 50, 1),
+            lint=False,
+        )
+        assert row.error is None, row.error
+        assert row.metadata["attempts"] > 1
+        assert row.metadata["resumed_from_cycle"] > 0
+        # And the stitched-together run equals the uninterrupted one.
+        [golden] = run_campaign([("long", config)], lint=False)
+        assert row.avg_latency == golden.avg_latency
+        assert row.packets_delivered == golden.packets_delivered
+
+
+class TestLegacyRetriesFix:
+    def test_attempts_recorded_in_metadata(self):
+        rows = run_campaign(
+            [("bad", _crashing())], retries=2, lint=False
+        )
+        assert rows[0].failed
+        assert rows[0].metadata["attempts"] == 3
+
+    def test_clean_run_single_attempt(self):
+        rows = run_campaign([("v", _small())], retries=5)
+        assert rows[0].metadata["attempts"] == 1

@@ -258,3 +258,46 @@ class TestTelemetryFlag:
         env = json.loads(capsys.readouterr().out)
         assert env["config"]["telemetry"]["enabled"] is True
         assert env["result"]["telemetry"]["samples"] >= 0
+
+
+class TestCheckpointFlags:
+    RUN_FLAGS = [
+        "run",
+        "--width", "3", "--height", "3",
+        "--messages", "150", "--warmup", "20",
+        "--link-error-rate", "0.02",
+        "--json",
+    ]
+
+    def test_checkpoint_flags_must_pair(self, capsys):
+        rc = main(["run", "--checkpoint-interval", "50"])
+        assert rc == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_run_writes_checkpoint_and_resume_completes_identically(
+        self, capsys, tmp_path
+    ):
+        """`run --checkpoint` leaves its last snapshot behind; `run
+        --resume` on that snapshot replays the remaining cycles and emits
+        the exact same JSON envelope as the original complete run."""
+        import json as _json
+
+        ckpt = str(tmp_path / "cli.ckpt")
+        rc = main(
+            self.RUN_FLAGS + ["--checkpoint", ckpt, "--checkpoint-interval", "40"]
+        )
+        assert rc == 0
+        golden = _json.loads(capsys.readouterr().out)
+        assert golden["result"]["counters"]["checkpoints_written"] >= 1
+
+        rc = main(["run", "--resume", ckpt, "--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "resuming from" in captured.err
+        resumed = _json.loads(captured.out)
+        assert resumed == golden
+
+    def test_resume_missing_file_exits_2(self, capsys, tmp_path):
+        rc = main(["run", "--resume", str(tmp_path / "nope.ckpt")])
+        assert rc == 2
+        assert "no such checkpoint" in capsys.readouterr().err

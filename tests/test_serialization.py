@@ -62,6 +62,23 @@ class TestConfigRoundTrip:
         config = SimulationConfig()
         assert config_from_dict(config_to_dict(config)) == config
 
+    def test_checkpoint_fields_roundtrip(self):
+        config = fancy_config().replace(
+            checkpoint_interval=300, checkpoint_path="run.ckpt"
+        )
+        again = config_from_dict(config_to_dict(config))
+        assert again == config
+        assert again.checkpoint_interval == 300
+
+    def test_pre_checkpoint_dicts_still_load(self):
+        # Archived configs from before the checkpoint fields existed must
+        # deserialize with checkpointing off.
+        data = config_to_dict(fancy_config())
+        del data["checkpoint_interval"], data["checkpoint_path"]
+        config = config_from_dict(data)
+        assert config.checkpoint_interval is None
+        assert config.checkpoint_path is None
+
     def test_json_is_valid_and_stable(self):
         text = config_to_json(fancy_config())
         data = json.loads(text)

@@ -17,7 +17,10 @@ docs/PERFORMANCE.md on the freshly measured numbers:
 * idle mesh: activity-driven must be at least ``--min-idle-speedup`` (2x)
   faster than the full loop;
 * saturation: activity-driven must not fall below ``--max-sat-regression``
-  (0.8x) of the full loop's throughput.
+  (0.8x) of the full loop's throughput;
+* checkpointing: a loaded Simulator with the auto-checkpoint schedule on
+  must keep at least ``--min-checkpoint-ratio`` (0.9x) of the plain run's
+  throughput — the "at most 10% overhead" budget of docs/CHECKPOINTING.md.
 
 Exits non-zero when a floor is violated, so CI can gate on it.
 
@@ -31,11 +34,15 @@ File schema (list of records, oldest first)::
         "cycles_per_second": {
           "idle":       {"activity_driven": 3.1e6, "full": 1.4e3},
           "loaded":     {"activity_driven": ..., "full": ...},
-          "saturation": {"activity_driven": ..., "full": ...}
+          "saturation": {"activity_driven": ..., "full": ...},
+          "checkpoint": {"plain": ..., "checkpointed": ...}
         }
       },
       ...
     ]
+
+(The ``checkpoint`` point first appears in PR 5 records; older records
+simply lack the key.)
 """
 
 from __future__ import annotations
@@ -51,7 +58,11 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))
 
-from benchmarks.workloads import WORKLOADS, measure_cycles_per_second  # noqa: E402
+from benchmarks.workloads import (  # noqa: E402
+    WORKLOADS,
+    measure_checkpoint_overhead,
+    measure_cycles_per_second,
+)
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simulator.json"
 
@@ -85,11 +96,25 @@ def measure(rounds: int) -> dict:
             f"  full {points[workload]['full']:>12,.0f} cycles/s",
             file=sys.stderr,
         )
+    ckpt = measure_checkpoint_overhead(rounds=rounds)
+    points["checkpoint"] = {
+        "plain": round(ckpt["plain"], 1),
+        "checkpointed": round(ckpt["checkpointed"], 1),
+    }
+    print(
+        f"{'checkpoint':>10}: plain {points['checkpoint']['plain']:>11,.0f}"
+        f"  ckpt {points['checkpoint']['checkpointed']:>12,.0f} cycles/s"
+        f"  ({points['checkpoint']['checkpointed'] / points['checkpoint']['plain']:.2f}x)",
+        file=sys.stderr,
+    )
     return points
 
 
 def check_floors(
-    points: dict, min_idle_speedup: float, max_sat_regression: float
+    points: dict,
+    min_idle_speedup: float,
+    max_sat_regression: float,
+    min_checkpoint_ratio: float,
 ) -> list:
     failures = []
     idle = points["idle"]
@@ -105,6 +130,14 @@ def check_floors(
         failures.append(
             f"saturation throughput ratio {ratio:.2f}x is below the "
             f"{max_sat_regression:.1f}x no-regression floor"
+        )
+    ckpt = points["checkpoint"]
+    ckpt_ratio = ckpt["checkpointed"] / ckpt["plain"]
+    if ckpt_ratio < min_checkpoint_ratio:
+        failures.append(
+            f"checkpointed loaded throughput is {ckpt_ratio:.2f}x of plain, "
+            f"below the {min_checkpoint_ratio:.1f}x floor "
+            f"(more than {(1 - min_checkpoint_ratio):.0%} overhead)"
         )
     return failures
 
@@ -130,6 +163,7 @@ def main(argv: list | None = None) -> int:
     )
     parser.add_argument("--min-idle-speedup", type=float, default=2.0)
     parser.add_argument("--max-sat-regression", type=float, default=0.8)
+    parser.add_argument("--min-checkpoint-ratio", type=float, default=0.9)
     args = parser.parse_args(argv)
 
     points = measure(args.rounds)
@@ -152,7 +186,10 @@ def main(argv: list | None = None) -> int:
 
     if args.check:
         failures = check_floors(
-            points, args.min_idle_speedup, args.max_sat_regression
+            points,
+            args.min_idle_speedup,
+            args.max_sat_regression,
+            args.min_checkpoint_ratio,
         )
         if failures:
             for failure in failures:
