@@ -23,40 +23,52 @@ any ``num_vcs``.  A routing function using VC classes as escape channels
 (datelines) would need a VC-granular graph; none of the repo's routing
 functions does.
 
-The verifier is exercised by ``repro lint`` (rule ``NOC004``) and directly
-by tests: XY and west-first must verify clean on a mesh, fully-adaptive and
-torus XY must be flagged with a concrete witness cycle.
+The graph is built over the generic :class:`~repro.noc.topology.PortGraph`
+surface — nodes, ports, ``neighbor`` and ``arrival_port`` — not over 2-D
+mesh coordinates, so the same construction certifies meshes, tori, and
+arbitrary :class:`~repro.noc.topology.GraphTopology` instances (degraded
+graphs, chiplet hierarchies, test fixtures) without modification.
+
+The verifier is exercised by ``repro lint`` (rule ``NOC004``), by the
+``repro verify`` certification engine, and directly by tests: XY and
+west-first must verify clean on a mesh, fully-adaptive and torus XY must
+be flagged with a concrete witness cycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Set, Tuple
 
 from repro.noc.flit import Flit
 from repro.noc.routing import RoutingFunction, SourceRouting
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import PortGraph
 from repro.types import Direction, FlitType
 
 
 class Channel(NamedTuple):
-    """A directed inter-router channel (one physical link direction)."""
+    """A directed inter-router channel (one physical link direction).
 
-    src: int
-    dst: int
-    direction: Direction
+    ``src``/``dst`` are node ids and ``direction`` is the port label the
+    channel leaves ``src`` through — :class:`~repro.types.Direction` on a
+    mesh, any sortable label on a generic port graph.
+    """
 
-    def describe(self, topology: Optional[MeshTopology] = None) -> str:
-        if topology is not None:
-            a = topology.coordinates_of(self.src)
-            b = topology.coordinates_of(self.dst)
-            return (
-                f"({a.x},{a.y})->({b.x},{b.y}) via {self.direction.name}"
-            )
-        return f"{self.src}->{self.dst} via {self.direction.name}"
+    src: Any
+    dst: Any
+    direction: Any
+
+    def describe(self, topology: Optional[PortGraph] = None) -> str:
+        port = getattr(self.direction, "name", None) or str(self.direction)
+        coordinates_of = getattr(topology, "coordinates_of", None)
+        if coordinates_of is not None:
+            a = coordinates_of(self.src)
+            b = coordinates_of(self.dst)
+            return f"({a.x},{a.y})->({b.x},{b.y}) via {port}"
+        return f"{self.src}->{self.dst} via {port}"
 
 
-def _probe_header(src: int, dst: int) -> Flit:
+def _probe_header(src: Any, dst: Any) -> Flit:
     """A minimal header flit for interrogating a routing function."""
     return Flit(-1, 0, FlitType.HEAD, src, dst)
 
@@ -70,14 +82,14 @@ class ChannelDependencyGraph:
     docstring for why it does not change the graph.
     """
 
-    topology: MeshTopology
+    topology: PortGraph
     num_vcs: int = 1
     _edges: Dict[Channel, Set[Channel]] = field(default_factory=dict)
 
     @classmethod
     def build(
         cls,
-        topology: MeshTopology,
+        topology: PortGraph,
         routing_fn: RoutingFunction,
         num_vcs: int = 1,
     ) -> "ChannelDependencyGraph":
@@ -100,12 +112,12 @@ class ChannelDependencyGraph:
                 graph._trace_destination(routing_fn, dst)
         return graph
 
-    def _trace_destination(self, routing_fn: RoutingFunction, dst: int) -> None:
+    def _trace_destination(self, routing_fn: RoutingFunction, dst: Any) -> None:
         """Record every dependency reachable by packets destined for ``dst``."""
         topology = self.topology
         # The candidate out-directions at a node depend only on (node, dst),
         # so one routing-function call per node covers every arrival port.
-        candidates: Dict[int, List[Direction]] = {}
+        candidates: Dict[Any, List[Any]] = {}
         for node in topology.nodes():
             if node == dst:
                 candidates[node] = []
@@ -141,7 +153,7 @@ class ChannelDependencyGraph:
                     frontier.append(requested)
 
     def _trace_destination_port_aware(
-        self, routing_fn: RoutingFunction, dst: int
+        self, routing_fn: RoutingFunction, dst: Any
     ) -> None:
         """Port-aware variant of :meth:`_trace_destination`.
 
@@ -158,7 +170,7 @@ class ChannelDependencyGraph:
         visited: Set[Channel] = set()
         frontier: List[Channel] = []
 
-        def legal(node: int, in_port: Direction) -> List[Direction]:
+        def legal(node: Any, in_port: Any) -> List[Any]:
             dirs = routing_fn.candidates_from(  # type: ignore[attr-defined]
                 topology, node, in_port, _probe_header(node, dst)
             )
@@ -182,7 +194,14 @@ class ChannelDependencyGraph:
             held = frontier.pop()
             if held.dst == dst:
                 continue
-            for direction in legal(held.dst, held.direction.opposite):
+            in_port = topology.arrival_port(held.src, held.direction)
+            if in_port is None:
+                raise ValueError(
+                    f"port-aware analysis needs a reverse port for channel "
+                    f"{held.describe(topology)}; one-way channels cannot "
+                    "carry an arrival-port routing constraint"
+                )
+            for direction in legal(held.dst, in_port):
                 requested = self._channel(held.dst, direction)
                 self._edges.setdefault(requested, set())
                 self._edges[held].add(requested)
@@ -190,7 +209,7 @@ class ChannelDependencyGraph:
                     visited.add(requested)
                     frontier.append(requested)
 
-    def _channel(self, node: int, direction: Direction) -> Channel:
+    def _channel(self, node: Any, direction: Any) -> Channel:
         neighbor = self.topology.neighbor(node, direction)
         assert neighbor is not None, "candidates were filtered to linked dirs"
         return Channel(node, neighbor, direction)
@@ -288,7 +307,7 @@ class CDGVerdict:
 
 
 def verify_deadlock_freedom(
-    topology: MeshTopology,
+    topology: PortGraph,
     routing_fn: RoutingFunction,
     num_vcs: int = 1,
 ) -> CDGVerdict:

@@ -1,0 +1,380 @@
+"""Determinism static analyzer — the ``DET0xx`` rule catalogue.
+
+The simulator's checkpoint/resume guarantee (docs/CHECKPOINTING.md) and the
+planned sharded campaigns are *bit-for-bit* claims: the same config and seed
+must produce the identical event stream on every run, every machine, every
+process.  A single iteration over a ``set``, one ``os.listdir`` consumed
+unsorted, or one wall-clock read folded into simulation state silently
+breaks that promise — usually long after the commit that introduced it.
+
+This module is an AST pass over ``src/repro`` that flags the hazard
+patterns *before* they ship, mirroring the ``NOC0xx`` config-lint catalogue
+in spirit and report format:
+
+======  ======================================================================
+DET001  Iteration over a ``set``/``frozenset`` expression (element order is
+        salted per process via ``PYTHONHASHSEED``).  Sort it, or iterate a
+        deterministic container.
+DET002  Filesystem listing consumed unsorted: ``os.listdir``, ``os.scandir``,
+        ``Path.iterdir``, ``glob``/``rglob`` return OS-dependent order; wrap
+        in ``sorted(...)``.
+DET003  Wall-clock reads (``time.time``, ``perf_counter``, ``monotonic``,
+        ``datetime.now``/``utcnow``/``today``): real time must never steer
+        simulated behaviour.  Fine in logging/benchmark shells — annotate.
+DET004  The process-global ``random`` module (``random.random()``,
+        ``random.choice`` ...): shared, seedable-from-anywhere state.  Use a
+        locally seeded ``random.Random(seed)`` instance.
+DET005  Ordering by object identity (``key=id``): CPython addresses vary per
+        run, so the order is nondeterministic.
+DET006  Builtin ``hash()`` of strings/bytes is ``PYTHONHASHSEED``-salted;
+        deriving decisions or seeds from it varies per process.  Use
+        ``zlib.crc32``/``hashlib`` for stable hashes.
+======  ======================================================================
+
+Findings on a line carrying the inline marker ``# det: ok`` are suppressed —
+the marker is a reviewed, deliberate exception (e.g. a wall-clock read in a
+progress display).  CI runs this analyzer over ``src/repro`` and requires
+zero findings (see ``tools/lint.py`` and the ``determinism`` job), so every
+suppression is visible in the diff that introduces it.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis.determinism src/repro
+    PYTHONPATH=src python -m repro.analysis.determinism --rules
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+#: Inline suppression marker (anywhere in the flagged physical line).
+SUPPRESSION = "det: ok"
+
+#: rule id -> (title, hint) — the catalogue ``--rules`` prints.
+DET_RULES: Dict[str, Tuple[str, str]] = {
+    "DET001": (
+        "iteration over a set/frozenset expression",
+        "set order is PYTHONHASHSEED-salted; iterate sorted(...) instead",
+    ),
+    "DET002": (
+        "filesystem listing consumed unsorted",
+        "os.listdir/scandir, Path.iterdir and glob return OS-dependent "
+        "order; wrap the call in sorted(...)",
+    ),
+    "DET003": (
+        "wall-clock read in simulation code",
+        "time.time/perf_counter/monotonic and datetime.now must not steer "
+        "simulated behaviour; keep them out of state or annotate '# det: ok'",
+    ),
+    "DET004": (
+        "process-global random module call",
+        "random.random()/choice()/... share one global RNG; use a locally "
+        "seeded random.Random(seed) instance",
+    ),
+    "DET005": (
+        "ordering by object identity (key=id)",
+        "id() is a memory address and varies per run; sort by a stable key",
+    ),
+    "DET006": (
+        "builtin hash() of interpreter-salted values",
+        "str/bytes hash() varies with PYTHONHASHSEED; use zlib.crc32 or "
+        "hashlib for stable digests",
+    ),
+}
+
+_FS_LISTING_FUNCS = {"listdir", "scandir", "iterdir", "glob", "rglob"}
+_TIME_FUNCS = {"time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+#: Global-RNG entry points of the ``random`` module (not Random/SystemRandom).
+_RANDOM_FUNCS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism hazard, pointing at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def rule_catalogue() -> str:
+    """The DET rule table, one line per rule (mirrors NOC's catalogue)."""
+    lines = ["DET rule catalogue (suppress a reviewed line with '# det: ok'):"]
+    for rule_id in sorted(DET_RULES):
+        title, hint = DET_RULES[rule_id]
+        lines.append(f"  {rule_id}  {title}")
+        lines.append(f"          {hint}")
+    return "\n".join(lines)
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Whether ``node`` syntactically evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The trailing name of the called function (``a.b.c()`` -> ``c``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, lines: Sequence[str]):
+        self.path = path
+        self.lines = lines
+        self.findings: List[Finding] = []
+        #: Calls appearing directly inside ``sorted(...)``/``list(sorted(``
+        #: etc. — sanctioned listing consumers.
+        self._sorted_args: Set[ast.AST] = set()
+        #: Bare names imported from the random module (``from random
+        #: import choice``) — calling them hits the global RNG too.
+        self._random_imports: Set[str] = set()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _suppressed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        # The marker may sit on any physical line the statement spans; the
+        # flagged line itself is what reviewers annotate.
+        text = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
+        return SUPPRESSION in text
+
+    def _flag(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if self._suppressed(node):
+            return
+        self.findings.append(
+            Finding(
+                rule_id=rule_id,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # -- DET001: set iteration --------------------------------------------
+
+    def _check_iteration(self, iterable: ast.AST) -> None:
+        if _is_set_expression(iterable):
+            self._flag(
+                "DET001",
+                iterable,
+                "iteration over a set/frozenset expression; order is "
+                "PYTHONHASHSEED-salted — iterate sorted(...) instead",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    # -- imports (for DET004 bare names) ----------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _RANDOM_FUNCS:
+                    self._random_imports.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls: DET001 (list(set)), DET002..DET006 -------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+
+        if name == "sorted":
+            # sorted(listing(...)) sanctions the inner listing call.
+            for arg in node.args:
+                self._sorted_args.add(arg)
+
+        # DET001 variant: materializing a set into an ordered container.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "iter", "enumerate")
+            and node.args
+            and _is_set_expression(node.args[0])
+        ):
+            self._flag(
+                "DET001",
+                node,
+                f"{node.func.id}() over a set expression preserves the "
+                "salted set order; use sorted(...) instead",
+            )
+
+        # DET002: unsorted filesystem listings.
+        if name in _FS_LISTING_FUNCS and node not in self._sorted_args:
+            self._flag(
+                "DET002",
+                node,
+                f"{name}() returns OS-dependent order; wrap the call in "
+                "sorted(...)",
+            )
+
+        # DET003: wall-clock reads.
+        if isinstance(node.func, ast.Attribute):
+            owner = node.func.value
+            owner_name = owner.id if isinstance(owner, ast.Name) else (
+                owner.attr if isinstance(owner, ast.Attribute) else None
+            )
+            if owner_name == "time" and node.func.attr in _TIME_FUNCS:
+                self._flag(
+                    "DET003",
+                    node,
+                    f"time.{node.func.attr}() is a wall-clock read; real "
+                    "time must not steer simulation state",
+                )
+            elif (
+                node.func.attr in _DATETIME_FUNCS
+                and owner_name in ("datetime", "date")
+            ):
+                self._flag(
+                    "DET003",
+                    node,
+                    f"{owner_name}.{node.func.attr}() is a wall-clock read; "
+                    "real time must not steer simulation state",
+                )
+
+            # DET004: global random module calls.
+            if (
+                isinstance(owner, ast.Name)
+                and owner.id == "random"
+                and node.func.attr in _RANDOM_FUNCS
+            ):
+                self._flag(
+                    "DET004",
+                    node,
+                    f"random.{node.func.attr}() uses the process-global "
+                    "RNG; use a locally seeded random.Random(seed)",
+                )
+        elif isinstance(node.func, ast.Name) and node.func.id in self._random_imports:
+            self._flag(
+                "DET004",
+                node,
+                f"{node.func.id}() (imported from random) uses the "
+                "process-global RNG; use a locally seeded random.Random(seed)",
+            )
+
+        # DET005: ordering by identity.
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "key"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id == "id"
+            ):
+                self._flag(
+                    "DET005",
+                    node,
+                    "key=id orders by memory address, which varies per "
+                    "run; use a stable key",
+                )
+
+        # DET006: salted builtin hash().
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self._flag(
+                "DET006",
+                node,
+                "builtin hash() is PYTHONHASHSEED-salted for str/bytes; "
+                "use zlib.crc32 or hashlib for stable digests",
+            )
+
+        self.generic_visit(node)
+
+
+def scan_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Scan one module's source text; returns findings in source order."""
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(path, source.splitlines())
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.line, f.col, f.rule_id))
+
+
+def scan_file(path: Union[str, Path]) -> List[Finding]:
+    p = Path(path)
+    return scan_source(p.read_text(), str(p))
+
+
+def scan_paths(paths: Iterable[Union[str, Path]]) -> List[Finding]:
+    """Scan files and directories (recursively, ``*.py``, sorted order)."""
+    findings: List[Finding] = []
+    for raw in paths:
+        path = Path(raw)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            findings.extend(scan_file(file))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.determinism",
+        description="Determinism static analyzer (DET001-DET006).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="python files or directories to scan"
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.rules:
+        print(rule_catalogue())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --rules)")
+    findings = scan_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(
+            f"{len(findings)} determinism finding(s); fix or annotate a "
+            f"reviewed line with '# {SUPPRESSION}'",
+            file=sys.stderr,
+        )
+        return 1
+    print("no determinism hazards found", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

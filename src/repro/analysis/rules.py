@@ -458,3 +458,58 @@ def _noc013_permanent_routing(ctx: LintContext) -> Iterable[Diagnostic]:
         ),
         hint="use xy or ft_table routing for fault-aware rerouting",
     )
+
+
+@rule("NOC014", "a cycle-0 permanent schedule must not partition the mesh")
+def _noc014_partition_at_start(ctx: LintContext) -> Iterable[Diagnostic]:
+    cfg = ctx.config
+    if cfg is None or not cfg.faults.permanent:
+        return
+    # Deferred import: repro.analysis.verify builds on this module's
+    # neighbours (cdg, config); keep the rule catalogue import-light.
+    from repro.analysis.verify import both_alive_pairs, topology_of
+
+    at_start = [f for f in cfg.faults.permanent if f.cycle == 0]
+    dead_links = {
+        (f.node, f.direction)
+        for f in at_start
+        if f.kind == "link" and f.direction is not None
+    }
+    if cfg.noc.num_vcs == 1:
+        # A dead VC is the whole link when it is the only VC.
+        dead_links |= {
+            (f.node, f.direction)
+            for f in at_start
+            if f.kind == "vc" and f.direction is not None
+        }
+    dead_routers = {f.node for f in at_start if f.kind == "router"}
+    if not dead_links and not dead_routers:
+        return
+    topology = topology_of(cfg)
+    alive = [n for n in topology.nodes() if n not in dead_routers]
+    reachable = both_alive_pairs(topology, dead_links, dead_routers)
+    severed = len(alive) * (len(alive) - 1) - len(reachable)
+    if severed <= 0:
+        return
+    example = min(
+        (src, dst)
+        for src in alive
+        for dst in alive
+        if src != dst and (src, dst) not in reachable
+    )
+    yield Diagnostic(
+        rule_id="NOC014",
+        severity=Severity.WARNING,
+        message=(
+            f"the cycle-0 permanent schedule partitions the "
+            f"{cfg.noc.width}x{cfg.noc.height} {cfg.noc.topology}: "
+            f"{severed} of {len(alive) * (len(alive) - 1)} surviving "
+            f"router pairs can never communicate (e.g. "
+            f"{example[0]}->{example[1]}); their traffic is dropped as "
+            "unroutable from the first cycle"
+        ),
+        hint=(
+            "remove a kill to keep the surviving routers connected, or "
+            "accept that cross-partition messages count as lost"
+        ),
+    )

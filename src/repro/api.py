@@ -11,6 +11,9 @@ instead of the internal class constellation:
   (:mod:`repro.checkpoint`; bit-for-bit equal to the uninterrupted run).
 * :func:`sweep` — latency vs injection rate over one config.
 * :func:`lint` — the static NOC0xx / deadlock-freedom checks.
+* :func:`verify` — the routing certification engine: statically prove
+  connectivity, livelock-freedom and deadlock-freedom (plus optional
+  link-kill robustness sweeps) for a config.
 * :func:`degrade` — the graceful-degradation campaign.
 
 Every heavyweight type these return is re-exported here, so user code can
@@ -34,6 +37,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.analysis.linter import DiagnosticReport, lint_config, lint_paths
+from repro.analysis.verify import (
+    FaultSweepVerdict,
+    RoutingCertificate,
+    TraversalVerdict,
+    certify_config,
+    certify_routing,
+)
 from repro.checkpoint import (
     CheckpointError,
     load_checkpoint,
@@ -68,6 +78,11 @@ __all__ = [
     "DegradationPoint",
     "DiagnosticReport",
     "FaultConfig",
+    "FaultSweepVerdict",
+    "RoutingCertificate",
+    "TraversalVerdict",
+    "certify_config",
+    "certify_routing",
     "NoCConfig",
     "SimulationConfig",
     "SimulationResult",
@@ -91,6 +106,7 @@ __all__ = [
     "save_checkpoint",
     "sweep",
     "validate_ndjson_lines",
+    "verify",
     "write_ndjson",
 ]
 
@@ -269,6 +285,33 @@ def lint(
     if isinstance(target, (str, Path)) and Path(target).exists():
         return lint_paths([target], cdg=cdg)
     return lint_config(load_config(target, **overrides), cdg=cdg)
+
+
+def verify(
+    target: Optional[ConfigLike] = None,
+    *,
+    single_link_kills: bool = False,
+    multi_kills: Any = (),
+    samples: int = 12,
+    sweep_seed: int = 2006,
+    **overrides: Any,
+) -> Dict[str, Any]:
+    """Statically certify the routing a config will run.
+
+    Returns the JSON-ready certificate entry (the same shape ``repro
+    verify --json`` emits per config): a ``routing`` block with the
+    connectivity / livelock-freedom / deadlock-freedom verdicts and any
+    witnesses, plus optional ``single_link_kills`` / ``multi_link_kills``
+    robustness sweeps of the fault-aware rebuild.  ``target`` may be
+    anything :func:`load_config` accepts.
+    """
+    return certify_config(
+        load_config(target, **overrides),
+        single_link_kills=single_link_kills,
+        multi_kills=tuple(multi_kills),
+        samples=samples,
+        seed=sweep_seed,
+    )
 
 
 def degrade(**kwargs: Any) -> List[DegradationPoint]:

@@ -17,6 +17,11 @@ Commands:
   assembled from the same flags ``run`` takes) against the ``NOC0xx`` rule
   catalogue and the channel-dependency-graph deadlock-freedom verifier.
   Exits non-zero when any ERROR diagnostic fires.
+* ``verify`` — the routing certification engine: statically prove
+  connectivity, livelock-freedom and deadlock-freedom for a config (with
+  its permanent-fault schedule fully applied), optionally under exhaustive
+  single-link-kill and seeded multi-kill robustness sweeps.  Exits non-zero
+  when any certificate fails.
 """
 
 from __future__ import annotations
@@ -269,6 +274,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit diagnostics as JSON"
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="statically certify routing (connectivity, livelock, deadlock)",
+        description=(
+            "Prove — without simulating — that the routing a config will "
+            "run is connected (every expected src/dst pair has a guaranteed "
+            "route), livelock-free (loop-free traversal with a strictly "
+            "decreasing progress metric) and deadlock-free (acyclic channel "
+            "dependency graph).  Scheduled permanent faults are fully "
+            "applied first, so the certificate covers the degraded network. "
+            "Exit status 1 if any certificate fails."
+        ),
+    )
+    verify.add_argument(
+        "paths",
+        nargs="*",
+        help="JSON config files or directories (default: verify the flags)",
+    )
+    _add_platform_flags(verify)
+    _add_workload_flags(verify)
+    verify.add_argument(
+        "--single-link-kills",
+        action="store_true",
+        help="additionally certify the fault-aware rebuild for every "
+        "possible single-link kill (exhaustive)",
+    )
+    verify.add_argument(
+        "--multi-kill",
+        action="append",
+        type=int,
+        default=[],
+        metavar="K",
+        help="additionally certify seeded random K-link-kill samples "
+        "(repeatable for several K)",
+    )
+    verify.add_argument(
+        "--samples",
+        type=int,
+        default=12,
+        help="trials per --multi-kill sweep (default 12)",
+    )
+    verify.add_argument(
+        "--sweep-seed",
+        type=int,
+        default=2006,
+        help="seed for the multi-kill samples (default 2006)",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="emit certificates as JSON"
+    )
+
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("number", choices=["5", "6", "7", "8", "9", "10", "13"])
     fig.add_argument("--messages", type=int, default=1200)
@@ -439,6 +495,151 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.strict and report.warnings:
         return 1
     return report.exit_code
+
+
+def _verify_entry_certified(entry: Dict[str, Any]) -> bool:
+    """Whether every check in one ``certify_config`` entry passed."""
+    if not entry["routing"]["certified"]:
+        return False
+    single = entry.get("single_link_kills")
+    if single is not None and not single["certified"]:
+        return False
+    return all(s["certified"] for s in entry.get("multi_link_kills", []))
+
+
+def _print_verify_entry(entry: Dict[str, Any]) -> None:
+    platform = entry["platform"]
+    routing = entry["routing"]
+    faults = len(platform["permanent_faults"])
+    degraded = f", {faults} permanent faults applied" if faults else ""
+    print(
+        f"{entry.get('name', '<config>')}: {platform['width']}x"
+        f"{platform['height']} {platform['topology']}, "
+        f"{platform['routing']} routing, {platform['num_vcs']} VCs{degraded}"
+    )
+
+    def line(label: str, ok: bool, detail: str) -> None:
+        print(f"  {label:<18} {'PASS' if ok else 'FAIL'}  {detail}")
+
+    extra = (
+        f" +{routing['extra_pairs']} best-effort" if routing["extra_pairs"] else ""
+    )
+    line(
+        "connectivity",
+        routing["connected"],
+        f"{routing['delivered_pairs']}/{routing['expected_pairs']} expected "
+        f"pairs{extra} (max route {routing['max_route_length']} hops)",
+    )
+    line(
+        "livelock-freedom",
+        routing["livelock_free"],
+        f"progress metric: {routing['progress_metric']}",
+    )
+    line(
+        "deadlock-freedom",
+        routing["deadlock_free"],
+        f"{routing['num_channels']} channels, "
+        f"{routing['num_dependencies']} dependencies",
+    )
+    if not routing["connected"]:
+        for pair in routing["missing_pairs"]:
+            print(f"    unroutable: {pair}")
+        for state in routing["stuck_states"]:
+            print(f"    stuck: {state}")
+    if not routing["livelock_free"]:
+        for step in routing["livelock_witness"]:
+            print(f"    livelock witness: {step}")
+    if not routing["deadlock_free"]:
+        for step in routing["witness"]:
+            print(f"    deadlock witness: {step}")
+    single = entry.get("single_link_kills")
+    if single is not None:
+        line(
+            "single-link kills",
+            single["certified"],
+            f"{single['trials']} exhaustive trials, min delivered fraction "
+            f"{single['min_delivered_fraction']:.3f}",
+        )
+        for failure in single["failures"]:
+            print(f"    {failure}")
+    for sweep in entry.get("multi_link_kills", []):
+        line(
+            f"{sweep['kills_per_trial']}-link kills",
+            sweep["certified"],
+            f"{sweep['trials']} sampled trials (seed {sweep['seed']}), min "
+            f"delivered fraction {sweep['min_delivered_fraction']:.3f}",
+        )
+        for failure in sweep["failures"]:
+            print(f"    {failure}")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.verify import certify_config
+    from repro.serialization import config_from_dict
+
+    targets: List[Any] = []
+    if args.paths:
+        files: List[Path] = []
+        for raw in args.paths:
+            path = Path(raw)
+            files.extend(sorted(path.rglob("*.json")) if path.is_dir() else [path])
+        for file in files:
+            try:
+                targets.append((str(file), json.loads(file.read_text())))
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: {file}: {exc}", file=sys.stderr)
+                return 2
+        if not targets:
+            print("error: no *.json config files found", file=sys.stderr)
+            return 2
+    else:
+        targets.append(("<flags>", _platform_dict(args)))
+
+    entries: List[Dict[str, Any]] = []
+    for name, data in targets:
+        try:
+            config = config_from_dict(data)
+            entries.append(
+                certify_config(
+                    config,
+                    single_link_kills=args.single_link_kills,
+                    multi_kills=tuple(args.multi_kill),
+                    samples=args.samples,
+                    seed=args.sweep_seed,
+                    name=name,
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 2
+    certified = all(_verify_entry_certified(e) for e in entries)
+    if args.json:
+        from repro.serialization import envelope
+
+        config_dict = None if args.paths else _platform_dict(args)
+        print(
+            json.dumps(
+                envelope("verify", entries, config=config_dict),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for i, entry in enumerate(entries):
+            if i:
+                print()
+            _print_verify_entry(entry)
+        passing = sum(_verify_entry_certified(e) for e in entries)
+        if certified:
+            print(f"\n{len(entries)} config(s): CERTIFIED")
+        else:
+            print(
+                f"\n{passing} of {len(entries)} config(s) certified: "
+                "NOT CERTIFIED"
+            )
+    return 0 if certified else 1
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -656,6 +857,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         if args.command == "figure":
             return _cmd_figure(args)
         if args.command == "table1":

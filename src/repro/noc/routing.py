@@ -20,10 +20,10 @@ travelling in Y).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Protocol, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Set, Tuple
 
 from repro.noc.flit import Flit
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import MeshTopology, PortGraph
 from repro.types import Direction, RoutingAlgorithm
 
 
@@ -48,9 +48,15 @@ class RoutingFunction(Protocol):
     port_aware: bool = False
 
     def candidates(
-        self, topology: MeshTopology, current: int, flit: Flit
-    ) -> List[Direction]:
-        """Candidate output directions (LOCAL means eject here)."""
+        self, topology: Any, current: Any, flit: Flit
+    ) -> List[Any]:
+        """Candidate output directions (LOCAL means eject here).
+
+        ``topology`` is at least a :class:`~repro.noc.topology.PortGraph`;
+        coordinate-based functions (XY, west-first, ...) additionally
+        require a :class:`~repro.noc.topology.MeshTopology`, while table
+        routing (:class:`FaultAwareRouting`) works on any port graph.
+        """
         ...
 
 
@@ -167,7 +173,9 @@ class SourceRouting:
 
 
 #: A directed channel: the link leaving ``node`` through ``direction``.
-_Chan = Tuple[int, Direction]
+#: Node ids and port labels are :class:`int`/:class:`Direction` on a mesh
+#: but may be any sortable hashables on a generic :class:`PortGraph`.
+_Chan = Tuple[Any, Any]
 
 
 class FaultAwareRouting:
@@ -219,22 +227,22 @@ class FaultAwareRouting:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: PortGraph,
         dead_links: Iterable[_Chan] = (),
-        dead_routers: Iterable[int] = (),
+        dead_routers: Iterable[Any] = (),
     ):
         self.topology = topology
         #: Bumped on every rebuild; lets observers detect reconfiguration.
         self.version = 0
         self._alive_channels: Set[_Chan] = set()
-        self._table: Dict[Tuple[int, int, int], Direction] = {}
+        self._table: Dict[Tuple[Any, Any, Any], Any] = {}
         self._num_nodes = topology.num_nodes
         self.rebuild(dead_links, dead_routers)
 
     # -- construction ------------------------------------------------------
 
     def rebuild(
-        self, dead_links: Iterable[_Chan] = (), dead_routers: Iterable[int] = ()
+        self, dead_links: Iterable[_Chan] = (), dead_routers: Iterable[Any] = ()
     ) -> None:
         """Recompute orientation and routing tables for the current
         surviving-link set.  ``dead_links`` entries are ``(node,
@@ -245,7 +253,7 @@ class FaultAwareRouting:
         dead_router_set = set(dead_routers)
 
         # Surviving directed channels.
-        alive: Dict[_Chan, int] = {}
+        alive: Dict[_Chan, Any] = {}
         for u in topology.nodes():
             if u in dead_router_set:
                 continue
@@ -259,11 +267,12 @@ class FaultAwareRouting:
         self._alive_channels = set(alive)
 
         # Levels over the both-alive graph, per component from its min id.
-        both_alive: Dict[int, List[int]] = {}
+        both_alive: Dict[Any, List[Any]] = {}
         for (u, d), v in alive.items():
-            if (v, d.opposite) in alive:
+            back = topology.arrival_port(u, d)
+            if back is not None and (v, back) in alive:
                 both_alive.setdefault(u, []).append(v)
-        level: Dict[int, int] = {}
+        level: Dict[Any, int] = {}
         for root in topology.nodes():
             if root in dead_router_set or root in level:
                 continue
@@ -276,7 +285,7 @@ class FaultAwareRouting:
                         level[v] = level[u] + 1
                         frontier.append(v)
 
-        def key(n: int) -> Tuple[int, int]:
+        def key(n: Any) -> Tuple[int, Any]:
             return (level[n], n)
 
         is_up: Dict[_Chan, bool] = {
@@ -284,12 +293,12 @@ class FaultAwareRouting:
         }
 
         # Reverse adjacency: channels arriving at each node.
-        arriving: Dict[int, List[_Chan]] = {}
+        arriving: Dict[Any, List[_Chan]] = {}
         for ch, v in alive.items():
             arriving.setdefault(v, []).append(ch)
 
-        table: Dict[Tuple[int, int, int], Direction] = {}
-        local = int(Direction.LOCAL)
+        table: Dict[Tuple[Any, Any, Any], Any] = {}
+        local: Any = Direction.LOCAL
         for dst in topology.nodes():
             if dst in dead_router_set:
                 continue
@@ -313,25 +322,31 @@ class FaultAwareRouting:
             for u in topology.nodes():
                 if u == dst or u in dead_router_set:
                     continue
+                # Ties broken by port-label order (Direction index on a mesh).
                 outs = [
-                    (dist[(u, d)], int(d), d)
+                    (dist[(u, d)], d)
                     for d in topology.connected_directions(u)
                     if (u, d) in dist
                 ]
                 if not outs:
                     continue
                 # Injection: no held channel, any output is turn-legal.
-                table[(u, local, dst)] = min(outs)[2]
+                table[(u, local, dst)] = min(outs)[1]
                 for pc in arriving.get(u, ()):
-                    in_port = pc[1].opposite
+                    in_port = topology.arrival_port(pc[0], pc[1])
+                    if in_port is None:
+                        # A one-way channel has no arrival-port label to key
+                        # the table by; packets holding it are re-planned by
+                        # candidates_from's dead-held-channel fallback.
+                        continue
                     if is_up[pc]:
                         best = min(outs)
                     else:
-                        legal = [o for o in outs if not is_up[(u, o[2])]]
+                        legal = [o for o in outs if not is_up[(u, o[1])]]
                         if not legal:
                             continue
                         best = min(legal)
-                    table[(u, int(in_port), dst)] = best[2]
+                    table[(u, in_port, dst)] = best[1]
 
         self._table = table
         self.version += 1
@@ -339,21 +354,21 @@ class FaultAwareRouting:
     # -- routing -----------------------------------------------------------
 
     def candidates(
-        self, topology: MeshTopology, current: int, flit: Flit
-    ) -> List[Direction]:
+        self, topology: PortGraph, current: Any, flit: Flit
+    ) -> List[Any]:
         """Injection-context lookup (no held channel, all turns legal)."""
         if current == flit.dst:
             return [Direction.LOCAL]
-        d = self._table.get((current, int(Direction.LOCAL), flit.dst))
+        d = self._table.get((current, Direction.LOCAL, flit.dst))
         return [d] if d is not None else []
 
     def candidates_from(
         self,
-        topology: MeshTopology,
-        current: int,
-        in_port: Direction,
+        topology: PortGraph,
+        current: Any,
+        in_port: Any,
         flit: Flit,
-    ) -> List[Direction]:
+    ) -> List[Any]:
         """Port-aware lookup for a header arriving through ``in_port``.
 
         A missing entry with a *live* held channel means the packet is
@@ -366,22 +381,25 @@ class FaultAwareRouting:
             return [Direction.LOCAL]
         if in_port is Direction.LOCAL:
             return self.candidates(topology, current, flit)
-        d = self._table.get((current, int(in_port), flit.dst))
+        d = self._table.get((current, in_port, flit.dst))
         if d is not None:
             return [d]
         src = topology.neighbor(current, in_port)
-        held = (src, in_port.opposite) if src is not None else None
+        back = (
+            topology.arrival_port(current, in_port) if src is not None else None
+        )
+        held = (src, back) if back is not None else None
         if held is None or held not in self._alive_channels:
             return self.candidates(topology, current, flit)
         return []
 
     # -- reachability ------------------------------------------------------
 
-    def is_reachable(self, src: int, dst: int) -> bool:
+    def is_reachable(self, src: Any, dst: Any) -> bool:
         """Whether the current tables can deliver ``src -> dst``."""
         if src == dst:
             return True
-        return (src, int(Direction.LOCAL), dst) in self._table
+        return (src, Direction.LOCAL, dst) in self._table
 
     def reachable_fraction(self) -> float:
         """Fraction of ordered ``(src, dst)`` pairs (src != dst) the
@@ -389,7 +407,7 @@ class FaultAwareRouting:
         n = self._num_nodes
         if n < 2:
             return 1.0
-        local = int(Direction.LOCAL)
+        local = Direction.LOCAL
         entries = sum(1 for (_, p, _) in self._table if p == local)
         return entries / (n * (n - 1))
 

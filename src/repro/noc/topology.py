@@ -1,4 +1,4 @@
-"""Mesh and torus topologies.
+"""Mesh and torus topologies, and the generic node/port-graph surface.
 
 The paper evaluates an 8x8 MESH (Section 2.2); the torus is provided as the
 natural extension (the tornado traffic pattern of [19] originates there) and
@@ -7,13 +7,56 @@ for ablation studies.
 A topology answers purely structural questions: node-id/coordinate mapping,
 which ports are connected, and who the neighbor on a port is.  It owns no
 simulation state.
+
+The static-analysis layer (channel-dependency graphs, the routing
+certification engine) does not need coordinates at all — only the
+:class:`PortGraph` surface: nodes, per-node ports, the neighbor behind a
+port, and the *arrival port* a channel lands on at its downstream node.
+:class:`MeshTopology` satisfies it natively; :class:`GraphTopology` lifts
+any irregular node/port graph (a chiplet hierarchy, a degraded mesh with
+whole regions removed, a test fixture) onto the same surface so the
+verifiers work unchanged on topologies the simulator does not ship yet.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from collections import deque
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.types import Coordinate, Direction
+
+
+@runtime_checkable
+class PortGraph(Protocol):
+    """The minimal structural surface static analysis routes over.
+
+    Node ids and port labels may be anything hashable and mutually
+    sortable (ints, strings, tuples); :class:`MeshTopology` uses ints and
+    :class:`~repro.types.Direction`.  ``arrival_port`` must be consistent
+    with ``neighbor``: for every channel ``(node, port)`` with a live
+    reverse channel, ``neighbor(neighbor(node, port), arrival_port(node,
+    port)) == node``.
+    """
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    def nodes(self) -> Iterator[Any]: ...
+
+    def connected_directions(self, node: Any) -> List[Any]: ...
+
+    def neighbor(self, node: Any, port: Any) -> Optional[Any]: ...
+
+    def arrival_port(self, node: Any, port: Any) -> Optional[Any]: ...
 
 
 class MeshTopology:
@@ -70,6 +113,14 @@ class MeshTopology:
             for d in (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
             if self.neighbor(node, d) is None
         ]
+
+    def arrival_port(self, node: int, direction: Direction) -> Optional[Direction]:
+        """The port a flit sent from ``node`` via ``direction`` arrives on
+        at the downstream router.  Mesh links come in bidirectional pairs,
+        so this is simply the opposite direction (None off the edge)."""
+        if direction is Direction.LOCAL or self.neighbor(node, direction) is None:
+            return None
+        return direction.opposite
 
     def distance(self, a: int, b: int) -> int:
         """Minimal hop count between two nodes."""
@@ -152,3 +203,76 @@ class TorusTopology(MeshTopology):
             if dy >= self.height - dy:
                 dirs.append(Direction.SOUTH)
         return dirs
+
+
+class GraphTopology:
+    """An arbitrary node/port graph behind the :class:`PortGraph` surface.
+
+    Built from an adjacency mapping ``{node: {port: neighbor}}``: each entry
+    is one directed channel leaving ``node`` through the port labelled
+    ``port``.  Node ids and port labels may be any hashable, mutually
+    sortable values; nodes appearing only as neighbors are added with no
+    outgoing channels.  This is what lets the CDG verifier and the routing
+    certification engine analyze irregular topologies (express links,
+    chiplet bridges, hand-built test graphs) without a coordinate system.
+    """
+
+    def __init__(self, adjacency: Mapping[Any, Mapping[Any, Any]]):
+        self._ports: Dict[Any, Dict[Any, Any]] = {
+            node: dict(ports) for node, ports in adjacency.items()
+        }
+        for ports in list(self._ports.values()):
+            for neighbor in ports.values():
+                self._ports.setdefault(neighbor, {})
+        self._node_order = sorted(self._ports)
+        # Arrival ports: for channel (u, p) -> v, the smallest port of v
+        # that leads back to u (None for one-way channels).
+        self._arrival: Dict[Any, Dict[Any, Any]] = {}
+        for node, ports in self._ports.items():
+            for port, neighbor in ports.items():
+                back = sorted(
+                    q
+                    for q, target in self._ports[neighbor].items()
+                    if target == node
+                )
+                self._arrival.setdefault(node, {})[port] = (
+                    back[0] if back else None
+                )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._ports)
+
+    def nodes(self) -> Iterator[Any]:
+        return iter(self._node_order)
+
+    def connected_directions(self, node: Any) -> List[Any]:
+        return sorted(self._ports[node])
+
+    def neighbor(self, node: Any, port: Any) -> Optional[Any]:
+        return self._ports[node].get(port)
+
+    def arrival_port(self, node: Any, port: Any) -> Optional[Any]:
+        return self._arrival.get(node, {}).get(port)
+
+    def distance(self, a: Any, b: Any) -> int:
+        """Minimal hop count ``a -> b`` over directed channels (-1 when
+        unreachable)."""
+        if a == b:
+            return 0
+        dist = {a: 0}
+        frontier = deque([a])
+        while frontier:
+            node = frontier.popleft()
+            for port in self._ports[node]:
+                neighbor = self._ports[node][port]
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    if neighbor == b:
+                        return dist[neighbor]
+                    frontier.append(neighbor)
+        return -1
+
+    def __repr__(self) -> str:
+        num_channels = sum(len(p) for p in self._ports.values())
+        return f"{type(self).__name__}({self.num_nodes} nodes, {num_channels} channels)"

@@ -1,0 +1,236 @@
+"""The DET determinism analyzer: one purpose-built bad snippet per rule.
+
+Each rule gets a minimal offending snippet (must flag) and a corrected
+twin (must not flag), plus the ``# det: ok`` suppression contract.  The
+final test locks in the tree-wide guarantee CI enforces: ``src/repro``
+itself scans clean.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.determinism import (
+    DET_RULES,
+    Finding,
+    main,
+    rule_catalogue,
+    scan_paths,
+    scan_source,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def rule_ids(source):
+    return [f.rule_id for f in scan_source(source)]
+
+
+class TestDet001SetIteration:
+    def test_for_over_set_literal(self):
+        assert rule_ids("for x in {1, 2, 3}:\n    pass\n") == ["DET001"]
+
+    def test_for_over_set_call(self):
+        assert rule_ids("for x in set(items):\n    pass\n") == ["DET001"]
+
+    def test_for_over_frozenset_call(self):
+        assert rule_ids("for x in frozenset(items):\n    pass\n") == ["DET001"]
+
+    def test_comprehension_over_set_comp(self):
+        assert rule_ids("ys = [y for y in {f(x) for x in xs}]\n") == ["DET001"]
+
+    def test_list_of_set_is_flagged(self):
+        assert rule_ids("order = list({3, 1, 2})\n") == ["DET001"]
+
+    def test_sorted_set_is_clean(self):
+        assert rule_ids("for x in sorted({1, 2, 3}):\n    pass\n") == []
+
+    def test_iterating_a_list_is_clean(self):
+        assert rule_ids("for x in [1, 2, 3]:\n    pass\n") == []
+
+    def test_set_membership_is_clean(self):
+        # Building and probing sets is fine; only *iteration order* leaks.
+        assert rule_ids("seen = {1, 2}\nhit = 3 in seen\n") == []
+
+
+class TestDet002FilesystemOrder:
+    def test_listdir_in_for(self):
+        assert rule_ids(
+            "import os\nfor name in os.listdir(path):\n    pass\n"
+        ) == ["DET002"]
+
+    def test_scandir_assignment(self):
+        assert rule_ids("entries = os.scandir(path)\n") == ["DET002"]
+
+    def test_path_glob(self):
+        assert rule_ids("files = root.glob('*.json')\n") == ["DET002"]
+
+    def test_path_rglob(self):
+        assert rule_ids("files = root.rglob('*.py')\n") == ["DET002"]
+
+    def test_iterdir(self):
+        assert rule_ids("for p in root.iterdir():\n    pass\n") == ["DET002"]
+
+    def test_sorted_listing_is_clean(self):
+        assert rule_ids("names = sorted(os.listdir(path))\n") == []
+        assert rule_ids("files = sorted(root.rglob('*.py'))\n") == []
+
+
+class TestDet003WallClock:
+    def test_time_time(self):
+        assert rule_ids("start = time.time()\n") == ["DET003"]
+
+    def test_perf_counter(self):
+        assert rule_ids("t0 = time.perf_counter()\n") == ["DET003"]
+
+    def test_monotonic(self):
+        assert rule_ids("deadline = time.monotonic() + 5\n") == ["DET003"]
+
+    def test_datetime_now(self):
+        assert rule_ids("stamp = datetime.now()\n") == ["DET003"]
+
+    def test_datetime_utcnow_qualified(self):
+        assert rule_ids("stamp = datetime.datetime.utcnow()\n") == ["DET003"]
+
+    def test_time_sleep_is_clean(self):
+        # sleep() affects pacing, not simulated state.
+        assert rule_ids("time.sleep(0.1)\n") == []
+
+    def test_unrelated_now_method_is_clean(self):
+        assert rule_ids("value = schedule.now()\n") == []
+
+
+class TestDet004GlobalRandom:
+    def test_module_call(self):
+        assert rule_ids("x = random.random()\n") == ["DET004"]
+
+    def test_module_choice(self):
+        assert rule_ids("pick = random.choice(options)\n") == ["DET004"]
+
+    def test_module_seed(self):
+        assert rule_ids("random.seed(42)\n") == ["DET004"]
+
+    def test_from_import_is_tracked(self):
+        assert rule_ids(
+            "from random import choice\npick = choice(options)\n"
+        ) == ["DET004"]
+
+    def test_from_import_alias_is_tracked(self):
+        assert rule_ids(
+            "from random import shuffle as mix\nmix(items)\n"
+        ) == ["DET004"]
+
+    def test_local_instance_is_clean(self):
+        assert rule_ids(
+            "rng = random.Random(7)\nx = rng.random()\n"
+        ) == []
+
+    def test_unrelated_choice_name_is_clean(self):
+        assert rule_ids("pick = choice(options)\n") == []
+
+
+class TestDet005OrderByIdentity:
+    def test_sorted_key_id(self):
+        assert rule_ids("items.sort(key=id)\n") == ["DET005"]
+        assert rule_ids("ordered = sorted(items, key=id)\n") == ["DET005"]
+
+    def test_min_key_id(self):
+        assert rule_ids("first = min(items, key=id)\n") == ["DET005"]
+
+    def test_stable_key_is_clean(self):
+        assert rule_ids("ordered = sorted(items, key=len)\n") == []
+
+
+class TestDet006BuiltinHash:
+    def test_hash_call(self):
+        assert rule_ids("bucket = hash(name) % 8\n") == ["DET006"]
+
+    def test_crc32_is_clean(self):
+        assert rule_ids("bucket = zlib.crc32(name.encode()) % 8\n") == []
+
+    def test_hashlib_method_is_clean(self):
+        assert rule_ids("digest = hashlib.sha256(blob).hexdigest()\n") == []
+
+
+class TestSuppression:
+    def test_marker_on_flagged_line_suppresses(self):
+        assert rule_ids("start = time.time()  # det: ok — progress bar\n") == []
+
+    def test_marker_on_other_line_does_not(self):
+        src = "# det: ok\nstart = time.time()\n"
+        assert rule_ids(src) == ["DET003"]
+
+    def test_marker_only_covers_its_own_line(self):
+        src = (
+            "a = time.time()  # det: ok\n"
+            "b = time.time()\n"
+        )
+        findings = scan_source(src)
+        assert [f.line for f in findings] == [2]
+
+
+class TestFindingsAndCatalogue:
+    def test_finding_format_and_dict(self):
+        (finding,) = scan_source("x = hash(y)\n", path="mod.py")
+        assert finding == Finding("DET006", "mod.py", 1, 4, finding.message)
+        assert finding.format().startswith("mod.py:1:4: DET006 ")
+        assert finding.to_dict()["rule_id"] == "DET006"
+
+    def test_findings_sorted_by_location(self):
+        src = "b = hash(y)\na = time.time()\n"
+        assert [f.line for f in scan_source(src)] == [1, 2]
+
+    def test_catalogue_lists_every_rule(self):
+        text = rule_catalogue()
+        for rule_id in DET_RULES:
+            assert rule_id in text
+        assert "det: ok" in text
+
+    def test_scan_paths_recurses_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = hash(y)\n")
+        sub = tmp_path / "a_sub"
+        sub.mkdir()
+        (sub / "a.py").write_text("t = time.time()\n")
+        findings = scan_paths([tmp_path])
+        assert [f.rule_id for f in findings] == ["DET003", "DET006"]
+
+
+class TestCliEntry:
+    def test_main_reports_findings_and_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = random.random()\n")
+        assert main([str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "DET004" in captured.out
+        assert "det: ok" in captured.err
+
+    def test_main_clean_exits_0(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+        assert "no determinism hazards" in capsys.readouterr().err
+
+    def test_rules_flag(self, capsys):
+        assert main(["--rules"]) == 0
+        assert "DET001" in capsys.readouterr().out
+
+    def test_module_entry_point(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("for x in {1, 2}:\n    pass\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.determinism", str(bad)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+
+class TestTreeIsClean:
+    def test_src_repro_has_zero_findings(self):
+        """The guarantee CI enforces: the shipped tree scans clean."""
+        findings = scan_paths([REPO_ROOT / "src" / "repro"])
+        assert findings == [], "\n".join(f.format() for f in findings)

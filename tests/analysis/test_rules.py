@@ -37,7 +37,7 @@ def rule_ids(report):
 class TestCatalogue:
     def test_ids_are_stable_and_ordered(self):
         ids = [entry.rule_id for entry in iter_rules()]
-        assert ids == [f"NOC{n:03d}" for n in range(1, 14)]
+        assert ids == [f"NOC{n:03d}" for n in range(1, 15)]
 
     def test_paper_baseline_is_clean(self):
         assert len(lint_config(make_config())) == 0
@@ -331,3 +331,97 @@ class TestNOC013PermanentRerouting:
             make_config(noc=dict(routing=RoutingAlgorithm.WEST_FIRST))
         )
         assert not report.by_rule("NOC013")
+
+
+class TestNOC014PartitionAtCycleZero:
+    def _faults(self, *faults):
+        import dataclasses
+
+        from repro.faults.permanent import PermanentFaultSchedule
+
+        return dataclasses.replace(
+            FaultConfig.fault_free(),
+            permanent=PermanentFaultSchedule.of(*faults),
+        )
+
+    def test_fires_when_a_corner_is_severed(self):
+        from repro.faults.permanent import PermanentFault
+        from repro.types import Direction
+
+        # Kill both links out of corner (0,0) of a 3x3, both directions:
+        # node 0 survives but can talk to nobody.
+        report = lint_config(
+            make_config(
+                noc=dict(width=3, height=3),
+                faults=self._faults(
+                    PermanentFault("link", 0, Direction.EAST),
+                    PermanentFault("link", 1, Direction.WEST),
+                    PermanentFault("link", 0, Direction.NORTH),
+                    PermanentFault("link", 3, Direction.SOUTH),
+                ),
+            )
+        )
+        (diag,) = report.by_rule("NOC014")
+        assert diag.severity is Severity.WARNING
+        assert "partitions" in diag.message
+        # 8 surviving partners x 2 directions = 16 severed ordered pairs.
+        assert "16 of 72" in diag.message
+
+    def test_dead_vc_partitions_only_when_it_is_the_only_vc(self):
+        from repro.faults.permanent import PermanentFault
+        from repro.types import Direction
+
+        faults = self._faults(
+            PermanentFault("vc", 0, Direction.EAST, vc=0),
+            PermanentFault("vc", 1, Direction.WEST, vc=0),
+        )
+        single_vc = lint_config(
+            make_config(noc=dict(width=2, height=1, num_vcs=1), faults=faults)
+        )
+        assert single_vc.by_rule("NOC014")
+        multi_vc = lint_config(
+            make_config(noc=dict(width=2, height=1, num_vcs=3), faults=faults)
+        )
+        assert not multi_vc.by_rule("NOC014")
+
+    def test_quiet_when_dead_router_explains_all_loss(self):
+        from repro.faults.permanent import PermanentFault
+
+        # A dead router removes itself from the expectation: the survivors
+        # of a 3x3 minus the center stay connected around the rim.
+        report = lint_config(
+            make_config(
+                noc=dict(width=3, height=3),
+                faults=self._faults(PermanentFault("router", 4)),
+            )
+        )
+        assert not report.by_rule("NOC014")
+
+    def test_quiet_for_late_partitions(self):
+        from repro.faults.permanent import PermanentFault
+        from repro.types import Direction
+
+        # The same cut scheduled mid-run is degradation, not a broken
+        # platform definition: NOC014 only judges cycle 0.
+        report = lint_config(
+            make_config(
+                noc=dict(width=2, height=1),
+                faults=self._faults(
+                    PermanentFault("link", 0, Direction.EAST, cycle=500),
+                    PermanentFault("link", 1, Direction.WEST, cycle=500),
+                ),
+            )
+        )
+        assert not report.by_rule("NOC014")
+
+    def test_quiet_for_survivable_kills(self):
+        from repro.faults.permanent import PermanentFault
+        from repro.types import Direction
+
+        report = lint_config(
+            make_config(
+                noc=dict(width=3, height=3),
+                faults=self._faults(PermanentFault("link", 0, Direction.EAST)),
+            )
+        )
+        assert not report.by_rule("NOC014")

@@ -291,3 +291,60 @@ class TestContainerFormat:
         assert again.checkpoint_interval == 250
         assert again.checkpoint_path == str(tmp_path / "rt.ckpt")
         assert again == config
+
+
+class TestHeaderTruncation:
+    """A crash can land mid-write anywhere; ``read_checkpoint_header`` must
+    diagnose every prefix of a valid file instead of tracebacking (the
+    supervisor calls it on whatever the dead worker left behind)."""
+
+    def _snapshot(self, tmp_path):
+        sim = Simulator(_config(True, **SCENARIOS["xy_link_faults"]))
+        sim.run_to_cycle(30)
+        path = tmp_path / "snap.ckpt"
+        save_checkpoint(sim, path)
+        return path
+
+    def test_zero_length_file(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_checkpoint_header(path)
+
+    def test_partial_magic(self, tmp_path):
+        path = tmp_path / "partial.ckpt"
+        path.write_bytes(MAGIC[: len(MAGIC) // 2])
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_checkpoint_header(path)
+
+    def test_magic_only_no_header(self, tmp_path):
+        path = tmp_path / "headerless.ckpt"
+        path.write_bytes(MAGIC)
+        with pytest.raises(CheckpointError, match="truncated checkpoint header"):
+            read_checkpoint_header(path)
+
+    def test_header_cut_mid_json(self, tmp_path):
+        whole = self._snapshot(tmp_path).read_bytes()
+        header_end = whole.index(b"\n", len(MAGIC))
+        path = tmp_path / "midjson.ckpt"
+        # Cut inside the JSON header line: no terminating newline survives.
+        path.write_bytes(whole[: len(MAGIC) + (header_end - len(MAGIC)) // 2])
+        with pytest.raises(CheckpointError, match="truncated checkpoint header"):
+            read_checkpoint_header(path)
+
+    def test_complete_header_line_with_broken_json(self, tmp_path):
+        path = tmp_path / "garbled.ckpt"
+        path.write_bytes(MAGIC + b'{"checkpoint_version": \n')
+        with pytest.raises(CheckpointError, match="unparseable checkpoint header"):
+            read_checkpoint_header(path)
+
+    def test_every_prefix_of_a_real_checkpoint_is_diagnosed(self, tmp_path):
+        """Sweep truncation points across magic + header: always a
+        CheckpointError naming the file, never an uncaught exception."""
+        whole = self._snapshot(tmp_path).read_bytes()
+        header_end = whole.index(b"\n", len(MAGIC))
+        path = tmp_path / "sweep.ckpt"
+        for cut in range(header_end + 1):
+            path.write_bytes(whole[:cut])
+            with pytest.raises(CheckpointError, match="sweep.ckpt"):
+                read_checkpoint_header(path)

@@ -301,3 +301,78 @@ class TestCheckpointFlags:
         rc = main(["run", "--resume", str(tmp_path / "nope.ckpt")])
         assert rc == 2
         assert "no such checkpoint" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    def test_healthy_mesh_certifies(self, capsys):
+        rc = main(["verify", "--width", "4", "--height", "4", "--routing", "xy"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "connectivity       PASS" in out
+        assert "livelock-freedom   PASS" in out
+        assert "deadlock-freedom   PASS" in out
+        assert "CERTIFIED" in out
+
+    def test_torus_xy_fails_with_witness(self, capsys):
+        rc = main(
+            ["verify", "--width", "4", "--height", "4", "--torus",
+             "--routing", "xy"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "deadlock-freedom   FAIL" in out
+        assert "deadlock witness:" in out
+        assert "NOT CERTIFIED" in out
+
+    def test_single_link_kill_sweep(self, capsys):
+        rc = main(
+            ["verify", "--width", "3", "--height", "3",
+             "--routing", "ft_table", "--single-link-kills",
+             "--multi-kill", "2", "--samples", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "single-link kills  PASS  24 exhaustive trials" in out
+        assert "2-link kills       PASS  3 sampled trials" in out
+
+    def test_degraded_flags_certify_the_degraded_platform(self, capsys):
+        rc = main(
+            ["verify", "--width", "4", "--height", "4", "--routing", "xy",
+             "--dead-link", "5:east"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 permanent faults applied" in out
+
+    def test_json_envelope(self, capsys):
+        import json
+
+        rc = main(
+            ["verify", "--width", "3", "--height", "3", "--routing", "xy",
+             "--json"]
+        )
+        assert rc == 0
+        env = json.loads(capsys.readouterr().out)
+        assert env["schema"] == "repro/v1"
+        assert env["command"] == "verify"
+        (entry,) = env["result"]
+        assert entry["routing"]["certified"] is True
+        assert entry["routing"]["delivered_pairs"] == 72
+
+    def test_config_file_path(self, capsys, tmp_path):
+        import json
+        import pathlib
+
+        fixture = (
+            pathlib.Path(__file__).parent
+            / "fixtures" / "lint" / "torus_xy_no_recovery.json"
+        )
+        rc = main(["verify", str(fixture)])
+        assert rc == 1  # torus XY: deadlock-prone
+        out = capsys.readouterr().out
+        assert "deadlock-freedom   FAIL" in out
+
+    def test_missing_config_file_exits_2(self, capsys, tmp_path):
+        rc = main(["verify", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

@@ -7,20 +7,26 @@ Runs, in order:
 2. ``mypy`` over the strictly-typed ``repro.analysis`` package (if mypy is
    installed),
 3. ``repro lint examples/configs`` — the repo's own NoC config linter over
-   the shipped example configs (always; no third-party dependency).
+   the shipped example configs (always; no third-party dependency),
+4. the determinism analyzer (``repro.analysis.determinism``) over
+   ``src/repro`` — zero findings required (always; stdlib-only).
 
 Ruff and mypy are optional extras (``pip install -e .[lint]``): when absent
 they are skipped with a notice rather than failing, so the session works in
-the dependency-free environment the simulator itself targets.  Exit status
-is non-zero if any check that actually ran failed.
+the dependency-free environment the simulator itself targets.  Pass
+``--require-tools`` (CI does) to turn a missing ruff/mypy into a hard
+failure instead of a skip — a CI image that silently lost its linters must
+not report green.  Exit status is non-zero if any check that actually ran
+failed.
 
 Usage::
 
-    python tools/lint.py
+    python tools/lint.py [--require-tools]
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib.util
 import os
 import subprocess
@@ -43,30 +49,34 @@ def run_step(name: str, argv: list) -> int:
     return result.returncode
 
 
-def main() -> int:
+def main(argv: "list | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--require-tools",
+        action="store_true",
+        help="fail (instead of skip) when ruff or mypy is not installed",
+    )
+    args = parser.parse_args(argv)
+
     failures = 0
 
-    if importlib.util.find_spec("ruff") is not None:
-        failures += bool(
-            run_step(
-                "ruff", [sys.executable, "-m", "ruff", "check", "src", "tests"]
-            )
-        )
-    else:
-        print("== ruff: not installed, skipping (pip install -e .[lint])\n")
-
-    if importlib.util.find_spec("mypy") is not None:
-        failures += bool(
-            run_step(
-                "mypy",
-                [sys.executable, "-m", "mypy", "-p", "repro.analysis"],
-            )
-        )
-    else:
-        print("== mypy: not installed, skipping (pip install -e .[lint])\n")
+    for tool, tool_argv in (
+        ("ruff", [sys.executable, "-m", "ruff", "check", "src", "tests"]),
+        ("mypy", [sys.executable, "-m", "mypy", "-p", "repro.analysis"]),
+    ):
+        if importlib.util.find_spec(tool) is not None:
+            failures += bool(run_step(tool, tool_argv))
+        elif args.require_tools:
+            print(f"== {tool}: not installed, FAILED (--require-tools)\n")
+            failures += 1
+        else:
+            print(f"== {tool}: not installed, skipping (pip install -e .[lint])\n")
 
     env_cmd = [sys.executable, "-m", "repro", "lint", "examples/configs"]
     failures += bool(run_step("repro lint", env_cmd))
+
+    det_cmd = [sys.executable, "-m", "repro.analysis.determinism", "src/repro"]
+    failures += bool(run_step("determinism", det_cmd))
 
     if failures:
         print(f"lint session: {failures} check(s) failed")
