@@ -54,6 +54,24 @@ def test_simulation_saturation_cycles_per_second(benchmark):
     benchmark.pedantic(run_cycles, setup=setup, rounds=5, iterations=1)
 
 
+def test_simulation_batched_cycles_per_second(benchmark):
+    """Cycles/second of the loaded 8x8 mesh on the batched kernel.
+
+    Same workload as ``test_simulation_cycles_per_second``, run on
+    ``backend="batched"`` (``repro.noc.kernel``).  ``tools/bench_record.py
+    --check`` ratchets this point at 5x the PR 5 object-loop record — see
+    docs/KERNEL.md and docs/PERFORMANCE.md for the model.
+    """
+
+    def setup():
+        return (
+            (build_loaded_network(backend="batched"), DEFAULT_CYCLES["loaded"]),
+            {},
+        )
+
+    benchmark.pedantic(run_cycles, setup=setup, rounds=5, iterations=1)
+
+
 def test_switch_allocator_throughput(benchmark):
     sa = SwitchAllocator(5, 3)
     bids = {(0, 0): 1, (0, 1): 2, (1, 0): 2, (2, 2): 3, (3, 0): 4, (4, 1): 0}

@@ -31,10 +31,14 @@ from repro.noc.packet import Packet
 from repro.noc.simulator import Simulator
 
 
-def build_idle_network(activity_driven: bool = True) -> Network:
+def build_idle_network(
+    activity_driven: bool = True, backend: str = "object"
+) -> Network:
     """An 8x8 mesh with no traffic at all."""
     return Network(
-        SimulationConfig(noc=NoCConfig(), activity_driven=activity_driven)
+        SimulationConfig(
+            noc=NoCConfig(), activity_driven=activity_driven, backend=backend
+        )
     )
 
 
@@ -50,21 +54,25 @@ def _enqueue_uniform(net: Network, packets_per_node: int, seed: int = 1) -> None
             pid += 1
 
 
-def build_loaded_network(activity_driven: bool = True) -> Network:
+def build_loaded_network(
+    activity_driven: bool = True, backend: str = "object"
+) -> Network:
     """An 8x8 mesh with two uniform-random packets queued per node."""
-    net = build_idle_network(activity_driven)
+    net = build_idle_network(activity_driven, backend)
     _enqueue_uniform(net, packets_per_node=2)
     return net
 
 
-def build_saturation_network(activity_driven: bool = True) -> Network:
+def build_saturation_network(
+    activity_driven: bool = True, backend: str = "object"
+) -> Network:
     """An 8x8 mesh with deep per-node queues: every router busy throughout.
 
     Twenty 4-flit packets per node keep injection queues non-empty for far
     longer than the measured window, so the activity-driven loop's active
     sets hold all 64 nodes every cycle — its worst case.
     """
-    net = build_idle_network(activity_driven)
+    net = build_idle_network(activity_driven, backend)
     _enqueue_uniform(net, packets_per_node=20)
     return net
 
@@ -86,19 +94,27 @@ def run_cycles(net: Network, cycles: int) -> None:
 
 
 def measure_cycles_per_second(
-    workload: str, activity_driven: bool, cycles: int | None = None, rounds: int = 3
+    workload: str,
+    activity_driven: bool,
+    cycles: int | None = None,
+    rounds: int = 3,
+    backend: str = "object",
 ) -> float:
-    """Best-of-``rounds`` cycles/second for one (workload, loop) point.
+    """Best-of-``rounds`` cycles/second for one (workload, loop, backend)
+    point.
 
     Each round builds a fresh network (measurements start from the same
     state) and times ``cycles`` steps; best-of defends against scheduler
-    noise the same way pytest-benchmark's ``min`` column does.
+    noise the same way pytest-benchmark's ``min`` column does.  These
+    workloads are fault-free, so ``backend="batched"`` runs the
+    struct-of-arrays kernel (``repro.noc.kernel``) rather than falling
+    back.
     """
     n = cycles if cycles is not None else DEFAULT_CYCLES[workload]
     builder = WORKLOADS[workload]
     best = float("inf")
     for _ in range(rounds):
-        net = builder(activity_driven)
+        net = builder(activity_driven, backend)
         t0 = time.perf_counter()
         run_cycles(net, n)
         best = min(best, time.perf_counter() - t0)

@@ -168,6 +168,8 @@ def _apply_overrides(data: Dict[str, Any], overrides: Dict[str, Any]) -> None:
         if key == "telemetry":
             if value is True:
                 value = {"enabled": True}
+            elif value is False:
+                value = {"enabled": False}
             elif isinstance(value, TelemetryConfig):
                 value = value.to_dict()
             data["telemetry"] = dict(value)
@@ -193,7 +195,10 @@ def _apply_overrides(data: Dict[str, Any], overrides: Dict[str, Any]) -> None:
         elif key in (
             "invariant_checks",
             "activity_driven",
+            "backend",
             "collect_power",
+            "collect_utilization",
+            "payload_ecc_check",
             "checkpoint_interval",
             "checkpoint_path",
         ):
@@ -231,14 +236,18 @@ def run(
 def resume(
     path: Union[str, Path],
     *,
+    backend: Optional[str] = None,
     telemetry_path: Optional[Union[str, Path]] = None,
 ) -> SimulationResult:
     """Finish an interrupted run from its checkpoint file.
 
     Bit-for-bit equivalent to never having been interrupted (see
-    docs/CHECKPOINTING.md).  ``telemetry_path`` exports the NDJSON stream
-    after completion, exactly as :func:`run` would have."""
-    sim = load_checkpoint(path)
+    docs/CHECKPOINTING.md).  A checkpoint resumes on the backend that
+    wrote it; pass ``backend`` to assert which one that is (a mismatch
+    raises :class:`CheckpointError` — cross-backend resume is
+    unsupported).  ``telemetry_path`` exports the NDJSON stream after
+    completion, exactly as :func:`run` would have."""
+    sim = load_checkpoint(path, backend=backend)
     result = sim.run()
     if telemetry_path is not None and result.telemetry is not None:
         write_ndjson(

@@ -35,7 +35,7 @@ import json
 import os
 import pickle
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.noc.simulator import Simulator
 from repro.serialization import config_to_dict
@@ -147,16 +147,34 @@ def read_checkpoint_header(path: Union[str, Path]) -> Dict[str, Any]:
         return _read_header(fh, path)
 
 
-def load_checkpoint(path: Union[str, Path]) -> Simulator:
+def load_checkpoint(
+    path: Union[str, Path], *, backend: Optional[str] = None
+) -> Simulator:
     """Restore a :class:`Simulator` from ``path``, verifying the payload
     checksum first.  The returned simulator carries ``resumed_from_cycle``
     and finishes the run via ``sim.run()`` exactly as the original would
-    have."""
+    have.
+
+    A checkpoint always resumes on the backend that wrote it (recorded in
+    the header's config).  Pass ``backend`` to *assert* which backend that
+    is: a mismatch raises :class:`CheckpointError` before unpickling.
+    Cross-backend resume is deliberately unsupported — the two backends
+    snapshot different state shapes, and a silent conversion could not be
+    bit-for-bit audited (see docs/CHECKPOINTING.md)."""
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"{path}: no such checkpoint")
     with open(path, "rb") as fh:
         header = _read_header(fh, path)
+        if backend is not None:
+            recorded = header.get("config", {}).get("backend", "object")
+            if backend != recorded:
+                raise CheckpointError(
+                    f"{path}: checkpoint was written by the {recorded!r} "
+                    f"backend but backend={backend!r} was requested; "
+                    "cross-backend resume is not supported — resume on the "
+                    "recorded backend, or restart from the original config"
+                )
         payload = fh.read()
     expected_bytes = header.get("payload_bytes")
     if expected_bytes is not None and len(payload) != expected_bytes:
@@ -179,6 +197,8 @@ def load_checkpoint(path: Union[str, Path]) -> Simulator:
     return sim
 
 
-def resume_from(path: Union[str, Path]) -> Simulator:
+def resume_from(
+    path: Union[str, Path], *, backend: Optional[str] = None
+) -> Simulator:
     """Alias of :func:`load_checkpoint` (the name the CLI and docs use)."""
-    return load_checkpoint(path)
+    return load_checkpoint(path, backend=backend)

@@ -182,6 +182,9 @@ def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
         },
         "invariant_checks": getattr(args, "invariant_checks", False),
     }
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        out["backend"] = backend
     if getattr(args, "checkpoint", None):
         out["checkpoint_path"] = args.checkpoint
         out["checkpoint_interval"] = getattr(args, "checkpoint_interval", None)
@@ -207,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariant-checks",
         action="store_true",
         help="run the per-cycle invariant sanitizer (slow; raises on violation)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("object", "batched"),
+        default="object",
+        help="execution backend: 'batched' runs fault-free configs on the "
+        "struct-of-arrays kernel (docs/KERNEL.md), bit-for-bit equivalent "
+        "and ~5x faster when loaded; out-of-domain configs fall back to "
+        "the object model",
     )
     run.add_argument(
         "--json", action="store_true", help="emit the full result as JSON"

@@ -301,6 +301,21 @@ class SimulationConfig:
     the flag exists so equivalence can be re-validated after changes to the
     hot path and so regressions can be bisected to the scheduling layer.
 
+    ``backend`` selects the state representation the cycle loop runs on.
+    ``"object"`` (the default) is the per-flit object model described in
+    ``docs/ARCHITECTURE.md``; ``"batched"`` requests the struct-of-arrays
+    kernel (:mod:`repro.noc.kernel`), which holds flit/VC/credit/
+    retransmission state in preallocated flat arrays and processes routers
+    as batched index operations per pipeline stage.  The kernel covers the
+    fault-free common case; configurations outside its domain (transient
+    fault rates, permanent schedules, E2E protection, source routing,
+    deadlock recovery, payload ECC, invariant checks) silently fall back to
+    the object model selected by ``activity_driven``, so results are always
+    bit-for-bit identical across backends (``docs/KERNEL.md``,
+    ``tests/noc/test_fast_path_equivalence.py``).  ``backend`` is
+    orthogonal to ``activity_driven``: the latter only chooses *which
+    object loop* runs when the kernel is not engaged.
+
     ``checkpoint_interval`` / ``checkpoint_path`` enable periodic crash-safe
     checkpointing (:mod:`repro.checkpoint`): every ``checkpoint_interval``
     cycles the simulator atomically rewrites ``checkpoint_path`` with a
@@ -319,11 +334,14 @@ class SimulationConfig:
     payload_ecc_check: bool = False
     invariant_checks: bool = False
     activity_driven: bool = True
+    backend: str = "object"
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     checkpoint_interval: Optional[int] = None
     checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.backend not in ("object", "batched"):
+            raise ValueError("backend must be 'object' or 'batched'")
         if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1 cycle")
         if (self.checkpoint_interval is None) != (self.checkpoint_path is None):

@@ -38,6 +38,7 @@ from repro.core.schemes import DeliveryAction, destination_policy
 from repro.faults.injector import FaultInjector
 from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 from repro.noc.flit import Flit
+from repro.noc.kernel import BatchedKernel, kernel_supports
 from repro.noc.link import Link
 from repro.noc.packet import Packet, PacketReassembler
 from repro.noc.router import Router
@@ -406,6 +407,14 @@ class Network:
         self._link_map: Dict[Tuple[int, Direction], Link] = {}
         self._wire_mesh()
         self._wire_local()
+        #: The batched struct-of-arrays cycle kernel (``repro.noc.kernel``),
+        #: or None when the object loops run.  Built only when the config
+        #: asks for it *and* sits inside the batchable domain; otherwise
+        #: ``backend="batched"`` silently falls back to the object model,
+        #: so fault experiments keep the bit-accurate path (docs/KERNEL.md).
+        self.kernel: Optional[BatchedKernel] = None
+        if config.backend == "batched" and kernel_supports(config) is None:
+            self.kernel = BatchedKernel(self)
         if self.telemetry is not None:
             self.telemetry.attach(self)
 
@@ -723,7 +732,10 @@ class Network:
         next_fault = self._next_fault_cycle
         if next_fault is not None and next_fault <= self.cycle:
             self._apply_due_faults()
-        if self._activity_driven:
+        kernel = self.kernel
+        if kernel is not None:
+            kernel.step()
+        elif self._activity_driven:
             self._step_active()
         else:
             self._step_full()
@@ -904,6 +916,8 @@ class Network:
 
     @property
     def in_flight_flits(self) -> int:
+        if self.kernel is not None:
+            return self.kernel.in_flight_flits
         buffered = sum(r.buffered_flits for r in self.routers)
         on_links = sum(len(link.flits) for link in self.links)
         pending_out = sum(r.retx_pending_flits for r in self.routers)

@@ -63,6 +63,14 @@ class PacketTracer:
     """Scans a network each cycle for the flits of watched packets."""
 
     def __init__(self, network: Network, watch: Iterable[int], telemetry=None):
+        if network.kernel is not None:
+            # The batched kernel keeps flit state in flat token arrays, not
+            # Flit objects, so there is nothing for _scan to walk.  Tracing
+            # is a debugging aid; run it on the object backend.
+            raise ValueError(
+                "PacketTracer cannot observe a batched-kernel network; "
+                "construct the run with backend='object' to trace packets"
+            )
         self.network = network
         self.watch: Set[int] = set(watch)
         self.traces: Dict[int, PacketTrace] = {

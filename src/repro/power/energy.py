@@ -52,9 +52,15 @@ class EnergyModel:
     leakage_pj_per_router_cycle: float = 0.45
 
     def energy_pj(self, events: Mapping[str, int]) -> float:
-        """Total dynamic energy of the counted events, in picojoules."""
+        """Total dynamic energy of the counted events, in picojoules.
+
+        Summed in sorted event order so the floating-point total is a pure
+        function of the counts — insertion order varies between the object
+        and batched backends (first-occurrence vs. per-cycle flush) and
+        must not leak into the result's last ulp.
+        """
         total = 0.0
-        for name, count in events.items():
+        for name, count in sorted(events.items()):
             per_event = self.event_energy_pj.get(name)
             if per_event is None:
                 raise KeyError(f"no energy coefficient for event {name!r}")

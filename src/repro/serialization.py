@@ -45,6 +45,7 @@ def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
         "payload_ecc_check": config.payload_ecc_check,
         "invariant_checks": config.invariant_checks,
         "activity_driven": config.activity_driven,
+        "backend": config.backend,
         "telemetry": config.telemetry.to_dict(),
         "checkpoint_interval": config.checkpoint_interval,
         "checkpoint_path": config.checkpoint_path,
@@ -76,6 +77,7 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
         payload_ecc_check=data.get("payload_ecc_check", False),
         invariant_checks=data.get("invariant_checks", False),
         activity_driven=data.get("activity_driven", True),
+        backend=data.get("backend", "object"),
         telemetry=TelemetryConfig.from_dict(data.get("telemetry")),
         checkpoint_interval=data.get("checkpoint_interval"),
         checkpoint_path=data.get("checkpoint_path"),

@@ -203,9 +203,17 @@ class TelemetryBus:
 
     def attach(self, network: Any) -> None:
         """Bind the sampler to a fully wired network (called once by
-        ``Network.__init__`` after links and interfaces exist)."""
+        ``Network.__init__`` after links and interfaces exist).
+
+        A network carrying a batched kernel gets the kernel's own sampler,
+        which reads the flat arrays but emits byte-identical series
+        (``repro.noc.kernel.KernelSampler``)."""
         if self._series_on:
-            self._sampler = _NetworkSampler(network)
+            kernel = getattr(network, "kernel", None)
+            if kernel is not None:
+                self._sampler = kernel.make_sampler()
+            else:
+                self._sampler = _NetworkSampler(network)
 
     def on_cycle_end(self, network: Any) -> None:
         """Called by both cycle loops at the end of every cycle (before the

@@ -286,3 +286,148 @@ def test_telemetry_does_not_perturb_observables(activity_driven):
     with_tel = _telemetry_streams(_telemetry_config(activity_driven, **kw))[0]
     without = _observables(_config(activity_driven, **kw))
     assert with_tel == without
+
+
+# -- batched-kernel equivalence ----------------------------------------------
+#
+# ``backend="batched"`` swaps the object cycle loop for the struct-of-arrays
+# kernel (repro.noc.kernel).  Inside its domain the kernel must be bit-for-bit
+# equivalent — every counter, latency, hop, energy tally, telemetry event and
+# series sample.  Outside its domain the network silently falls back to the
+# object loop, so the flag must *never* change results on any config.
+
+import dataclasses  # noqa: E402
+
+from repro import api  # noqa: E402
+from repro.noc.kernel import kernel_supports  # noqa: E402
+
+#: In-domain scenarios, expressed as api.load_config overrides on a 4x4
+#: baseline.  Together they cover every batchable axis: all three supported
+#: routing algorithms, both topologies, every pipeline depth, single-flit
+#: packets, VC/depth extremes, utilization collection and both supported
+#: protection schemes.
+BATCHED_SCENARIOS = {
+    "xy_baseline": dict(),
+    "west_first_contention": dict(routing="west_first", rate=0.3, messages=200),
+    "fully_adaptive_contention": dict(
+        routing="fully_adaptive", rate=0.35, messages=200
+    ),
+    "torus_xy": dict(topology="torus", rate=0.15),
+    "torus_west_first": dict(topology="torus", routing="west_first", rate=0.15),
+    "single_stage_pipeline": dict(pipeline_stages=1),
+    "two_stage_pipeline": dict(pipeline_stages=2),
+    "four_stage_pipeline": dict(pipeline_stages=4),
+    "single_flit_packets": dict(flits=1, messages=150),
+    "one_vc_shallow_buffers": dict(vcs=1, buffer_depth=2, rate=0.15),
+    "many_vcs_deep_buffers": dict(vcs=4, buffer_depth=8, rate=0.25),
+    "utilization_collection": dict(collect_utilization=True, rate=0.2),
+    "unprotected_links": dict(scheme="none", rate=0.15),
+}
+
+
+def _backend_observables(backend, **kw):
+    base = dict(width=4, height=4, rate=0.05, messages=120, warmup=20, seed=11)
+    base.update(kw)
+    result = result_to_dict(api.run(api.load_config(backend=backend, **base)))
+    assert result.pop("config")["backend"] == backend
+    return result
+
+
+@pytest.mark.filterwarnings("ignore:NOC008")  # torus_xy: advisory, no wedge
+@pytest.mark.parametrize("scenario", BATCHED_SCENARIOS)
+def test_batched_kernel_is_bit_for_bit_equivalent(scenario):
+    kw = BATCHED_SCENARIOS[scenario]
+    assert _backend_observables("batched", **kw) == _backend_observables(
+        "object", **kw
+    )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_batched_flag_never_changes_results(scenario):
+    """Requesting the batched backend on *any* config — including every
+    fault/recovery scenario above, all outside the batchable domain — must
+    leave results untouched (the out-of-domain path falls back silently)."""
+    kw = SCENARIOS[scenario]
+    batched = dataclasses.replace(_config(True, **kw), backend="batched")
+    assert _observables(batched) == _observables(_config(True, **kw))
+
+
+def test_out_of_domain_configs_fall_back_to_the_object_loop():
+    config = dataclasses.replace(
+        _config(True, rates={FaultSite.LINK: 0.01}), backend="batched"
+    )
+    net = Network(config)
+    assert net.kernel is None  # fell back
+    in_domain = dataclasses.replace(_config(True), backend="batched")
+    assert Network(in_domain).kernel is not None
+
+
+def test_kernel_supports_names_each_unsupported_feature():
+    assert kernel_supports(_config(True)) is None
+    cases = [
+        (dict(rates={FaultSite.LINK: 0.01}), "transient"),
+        (
+            dict(
+                permanent=PermanentFaultSchedule.of(
+                    PermanentFault("link", 5, Direction.EAST, cycle=200)
+                )
+            ),
+            "permanent",
+        ),
+        (dict(protection=LinkProtection.E2E), "end-to-end"),
+        (dict(deadlock_recovery=True), "deadlock"),
+        (dict(invariant_checks=True), "sanitizer"),
+    ]
+    for kw, needle in cases:
+        reason = kernel_supports(_config(True, **kw))
+        assert reason is not None and needle in reason
+    ecc = dataclasses.replace(_config(True), payload_ecc_check=True)
+    assert "ECC" in kernel_supports(ecc)
+
+
+@pytest.mark.parametrize(
+    "scenario", ["xy_baseline", "many_vcs_deep_buffers", "torus_west_first"]
+)
+def test_batched_telemetry_is_byte_identical(scenario, tmp_path):
+    """Events, sampled series and the NDJSON export itself must match the
+    object backend byte for byte (KernelSampler contract)."""
+    from repro.telemetry import write_ndjson
+
+    base = dict(
+        width=4,
+        height=4,
+        rate=0.1,
+        messages=150,
+        warmup=20,
+        seed=23,
+        telemetry=True,
+        metrics_interval=20,
+    )
+    base.update(BATCHED_SCENARIOS[scenario])
+    exports = {}
+    for backend in ("object", "batched"):
+        result = api.run(api.load_config(backend=backend, **base))
+        path = tmp_path / f"{backend}.ndjson"
+        write_ndjson(result.telemetry, path)
+        exports[backend] = path.read_bytes()
+    assert exports["object"] == exports["batched"]
+
+
+def test_packet_tracer_refuses_a_batched_network():
+    config = dataclasses.replace(_config(True), backend="batched")
+    net = Network(config)
+    assert net.kernel is not None
+    with pytest.raises(ValueError, match="backend='object'"):
+        PacketTracer(net, watch=[0])
+
+
+def test_serialization_round_trips_the_backend():
+    from repro.serialization import config_from_dict, config_to_dict
+
+    for backend in ("object", "batched"):
+        config = SimulationConfig(backend=backend)
+        assert config_from_dict(config_to_dict(config)).backend == backend
+    # Older serialized configs (no key) default to the object backend.
+    legacy = config_to_dict(SimulationConfig())
+    legacy.pop("backend")
+    assert config_from_dict(legacy).backend == "object"

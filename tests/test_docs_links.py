@@ -42,6 +42,30 @@ def test_checker_catches_breakage(tmp_path, monkeypatch):
     assert any("escapes" in p for p in problems)
 
 
+def test_every_noc_module_is_documented():
+    problems = check_docs_links.check_module_coverage()
+    assert not problems, "\n".join(problems)
+
+
+def test_module_coverage_catches_undocumented_modules(tmp_path, monkeypatch):
+    """The coverage check is not vacuously green: an unreferenced module
+    fails, and every reference idiom (plain, dotted, brace group) counts."""
+    monkeypatch.setattr(check_docs_links, "REPO_ROOT", tmp_path)
+    noc = tmp_path / "src" / "repro" / "noc"
+    noc.mkdir(parents=True)
+    for name in ("__init__", "router", "kernel", "flit", "packet", "ghost"):
+        (noc / f"{name}.py").touch()
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "page.md").write_text(
+        "# Page\nSee `noc/router.py`, `repro.noc.kernel` and\n"
+        "```\nnoc/{flit,packet}.py\n```\n"
+    )
+    problems = check_docs_links.check_module_coverage()
+    assert len(problems) == 1
+    assert "ghost.py" in problems[0]
+
+
 def test_github_slugs():
     seen = {}
     assert check_docs_links.github_slug("Static analysis & linting", seen) == (

@@ -20,7 +20,13 @@ docs/PERFORMANCE.md on the freshly measured numbers:
   (0.8x) of the full loop's throughput;
 * checkpointing: a loaded Simulator with the auto-checkpoint schedule on
   must keep at least ``--min-checkpoint-ratio`` (0.9x) of the plain run's
-  throughput — the "at most 10% overhead" budget of docs/CHECKPOINTING.md.
+  throughput — the "at most 10% overhead" budget of docs/CHECKPOINTING.md;
+* batched kernel (ISSUE 7 / docs/KERNEL.md): the ``backend="batched"``
+  loaded point must clear the absolute ratchet ``--min-batched-loaded``
+  (5130.5 cycles/s — 5x the PR 5 activity-driven loaded record) *and* run
+  at least ``--min-batched-speedup`` (4.0x) faster than the concurrently
+  measured activity-driven loaded point, so the floor also holds on
+  machines slower or faster than the one that set the ratchet.
 
 Exits non-zero when a floor is violated, so CI can gate on it.
 
@@ -32,17 +38,18 @@ File schema (list of records, oldest first)::
         "label": "PR 2",
         "git_rev": "abc1234",
         "cycles_per_second": {
-          "idle":       {"activity_driven": 3.1e6, "full": 1.4e3},
-          "loaded":     {"activity_driven": ..., "full": ...},
-          "saturation": {"activity_driven": ..., "full": ...},
+          "idle":       {"activity_driven": 3.1e6, "full": 1.4e3, "batched": ...},
+          "loaded":     {"activity_driven": ..., "full": ..., "batched": ...},
+          "saturation": {"activity_driven": ..., "full": ..., "batched": ...},
           "checkpoint": {"plain": ..., "checkpointed": ...}
         }
       },
       ...
     ]
 
-(The ``checkpoint`` point first appears in PR 5 records; older records
-simply lack the key.)
+(The ``checkpoint`` point first appears in PR 5 records and the
+``batched`` backend dimension in PR 7 records; older records simply lack
+those keys.)
 """
 
 from __future__ import annotations
@@ -90,10 +97,17 @@ def measure(rounds: int) -> dict:
             "full": round(
                 measure_cycles_per_second(workload, False, rounds=rounds), 1
             ),
+            "batched": round(
+                measure_cycles_per_second(
+                    workload, True, rounds=rounds, backend="batched"
+                ),
+                1,
+            ),
         }
         print(
             f"{workload:>10}: fast {points[workload]['activity_driven']:>12,.0f}"
-            f"  full {points[workload]['full']:>12,.0f} cycles/s",
+            f"  full {points[workload]['full']:>12,.0f}"
+            f"  batched {points[workload]['batched']:>12,.0f} cycles/s",
             file=sys.stderr,
         )
     ckpt = measure_checkpoint_overhead(rounds=rounds)
@@ -115,6 +129,8 @@ def check_floors(
     min_idle_speedup: float,
     max_sat_regression: float,
     min_checkpoint_ratio: float,
+    min_batched_loaded: float,
+    min_batched_speedup: float,
 ) -> list:
     failures = []
     idle = points["idle"]
@@ -138,6 +154,21 @@ def check_floors(
             f"checkpointed loaded throughput is {ckpt_ratio:.2f}x of plain, "
             f"below the {min_checkpoint_ratio:.1f}x floor "
             f"(more than {(1 - min_checkpoint_ratio):.0%} overhead)"
+        )
+    loaded = points["loaded"]
+    batched = loaded["batched"]
+    if batched < min_batched_loaded:
+        failures.append(
+            f"batched loaded throughput {batched:,.0f} cycles/s is below "
+            f"the {min_batched_loaded:,.1f} absolute ratchet "
+            "(5x the PR 5 activity-driven loaded record)"
+        )
+    batched_speedup = batched / loaded["activity_driven"]
+    if batched_speedup < min_batched_speedup:
+        failures.append(
+            f"batched loaded speedup {batched_speedup:.2f}x over the "
+            f"activity-driven loop is below the {min_batched_speedup:.1f}x "
+            "floor"
         )
     return failures
 
@@ -164,6 +195,15 @@ def main(argv: list | None = None) -> int:
     parser.add_argument("--min-idle-speedup", type=float, default=2.0)
     parser.add_argument("--max-sat-regression", type=float, default=0.8)
     parser.add_argument("--min-checkpoint-ratio", type=float, default=0.9)
+    parser.add_argument(
+        "--min-batched-loaded", type=float, default=5130.5,
+        help="absolute cycles/s ratchet for the batched loaded point "
+        "(5x the PR 5 activity-driven loaded record of 1026.1)",
+    )
+    parser.add_argument(
+        "--min-batched-speedup", type=float, default=4.0,
+        help="batched/activity-driven loaded ratio floor (machine-relative)",
+    )
     args = parser.parse_args(argv)
 
     points = measure(args.rounds)
@@ -190,6 +230,8 @@ def main(argv: list | None = None) -> int:
             args.min_idle_speedup,
             args.max_sat_regression,
             args.min_checkpoint_ratio,
+            args.min_batched_loaded,
+            args.min_batched_speedup,
         )
         if failures:
             for failure in failures:

@@ -10,8 +10,15 @@ everything under docs/) for ``[text](target)`` links and verifies:
 * no link points outside the repository.
 
 External links (``http://``, ``https://``, ``mailto:``) are skipped — CI
-must not flake on someone else's server.  Exits non-zero listing every
-broken link.  Also usable as a library (``tests/test_docs_links.py``).
+must not flake on someone else's server.
+
+Additionally enforces **module coverage**: every module under
+``src/repro/noc/`` must be referenced from at least one page in ``docs/``
+(as ``noc/<mod>.py``, ``noc.<mod>``, or inside a ``noc/{a,b}.py`` brace
+group), so new simulator modules cannot land undocumented.
+
+Exits non-zero listing every broken link or uncovered module.  Also usable
+as a library (``tests/test_docs_links.py``).
 """
 
 from __future__ import annotations
@@ -89,10 +96,47 @@ def check_file(path: pathlib.Path) -> List[str]:
     return problems
 
 
+#: Directories whose modules every docs page set must cover, relative to
+#: the repo root.
+MODULE_DIRS = ["src/repro/noc"]
+
+#: How a docs page may reference a module: ``noc/kernel.py``,
+#: ``repro.noc.kernel``, or a brace group like ``noc/{flit,packet}.py``
+#: (the dependency diagram's idiom).  Scanned on raw text — the
+#: ARCHITECTURE.md diagram lives inside a code fence.
+MODULE_REF = re.compile(r"noc/\{([\w,]+)\}\.py|noc/(\w+)\.py|noc\.(\w+)")
+
+
+def check_module_coverage() -> List[str]:
+    problems = []
+    pages = [
+        path
+        for path in doc_files()
+        if path.parent != REPO_ROOT  # pages under docs/, not top-level
+    ]
+    referenced: Set[str] = set()
+    for path in pages:
+        for match in MODULE_REF.finditer(path.read_text()):
+            group, single, dotted = match.groups()
+            if group:
+                referenced.update(group.split(","))
+            else:
+                referenced.add(single or dotted)
+    for dirname in MODULE_DIRS:
+        for module in sorted((REPO_ROOT / dirname).glob("*.py")):
+            if module.stem != "__init__" and module.stem not in referenced:
+                problems.append(
+                    f"{dirname}/{module.name} is not referenced from any "
+                    "page under docs/"
+                )
+    return problems
+
+
 def check_all() -> List[str]:
     problems = []
     for path in doc_files():
         problems.extend(check_file(path))
+    problems.extend(check_module_coverage())
     return problems
 
 
@@ -102,7 +146,8 @@ def main() -> int:
     for problem in problems:
         print(problem, file=sys.stderr)
     print(
-        f"checked {len(files)} files, {len(problems)} broken links",
+        f"checked {len(files)} files, {len(problems)} problems "
+        "(broken links/anchors + undocumented modules)",
         file=sys.stderr,
     )
     return 1 if problems else 0
