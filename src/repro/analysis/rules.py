@@ -1,4 +1,4 @@
-"""The config lint rule catalogue (rules ``NOC001``..``NOC012``).
+"""The config lint rule catalogue (rules ``NOC001``..``NOC015``).
 
 Each rule is a small function from a :class:`LintContext` to zero or more
 :class:`~repro.analysis.diagnostics.Diagnostic` records.  Rules are
@@ -27,7 +27,7 @@ from repro.analysis.cdg import CDGVerdict
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.config import SimulationConfig
 from repro.core.deadlock import max_packets_per_buffer
-from repro.types import FaultSite, RoutingAlgorithm
+from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
 
 #: HBH needs the replay window to cover link traversal + error check + NACK
 #: propagation (Section 3.1).
@@ -438,7 +438,11 @@ def _noc012_ac_unit(ctx: LintContext) -> Iterable[Diagnostic]:
 @rule("NOC013", "permanent faults need a routing function that can reroute")
 def _noc013_permanent_routing(ctx: LintContext) -> Iterable[Diagnostic]:
     cfg = ctx.config
-    if cfg is None or not cfg.faults.permanent:
+    if cfg is None:
+        return
+    # Wear-out escalation produces the same hard deaths a schedule does.
+    escalates = bool(cfg.faults.intermittent) and cfg.faults.wear_out is not None
+    if not cfg.faults.permanent and not escalates:
         return
     if cfg.noc.routing in (
         RoutingAlgorithm.XY,
@@ -448,11 +452,16 @@ def _noc013_permanent_routing(ctx: LintContext) -> Iterable[Diagnostic]:
         # XY is substituted with fault-aware table routing at run time;
         # source-routed packets carry their own (caller-chosen) paths.
         return
+    cause = (
+        "a permanent-fault schedule is configured"
+        if cfg.faults.permanent
+        else "wear-out escalation can kill intermittent sites"
+    )
     yield Diagnostic(
         rule_id="NOC013",
         severity=Severity.WARNING,
         message=(
-            f"a permanent-fault schedule is configured but routing "
+            f"{cause} but routing "
             f"'{cfg.noc.routing.value}' cannot reroute around dead "
             "components: packets whose paths cross them will be dropped"
         ),
@@ -513,3 +522,49 @@ def _noc014_partition_at_start(ctx: LintContext) -> Iterable[Diagnostic]:
             "accept that cross-partition messages count as lost"
         ),
     )
+
+
+@rule("NOC015", "long intermittent bursts defeat HBH retransmission")
+def _noc015_burst_outlasts_retx(ctx: LintContext) -> Iterable[Diagnostic]:
+    cfg = ctx.config
+    if cfg is None or not cfg.faults.intermittent:
+        return
+    if cfg.noc.link_protection is not LinkProtection.HBH:
+        return
+    # A retransmission round trip needs at least MIN_RETX_DEPTH cycles
+    # (traversal + check + NACK propagation), so the receiver's give-up
+    # clock runs out max_nack_retries * MIN_RETX_DEPTH cycles after the
+    # first corrupt arrival.  A burst whose expected on-window covers that
+    # whole span corrupts every retry too: give-up is not a tail risk but
+    # the expected outcome for any flit caught at the window's start.
+    giveup_window = cfg.noc.max_nack_retries * MIN_RETX_DEPTH
+    for fault in cfg.faults.intermittent:
+        if fault.rate < 0.5 or fault.mean_on < giveup_window:
+            continue
+        yield Diagnostic(
+            rule_id="NOC015",
+            severity=Severity.WARNING,
+            message=(
+                f"intermittent site {fault.node}:{fault.direction.name.lower()}"
+                f" bursts for ~{fault.mean_on:g} cycles at strike rate "
+                f"{fault.rate:g} — longer than the HBH give-up window of "
+                f"{giveup_window} cycles, so flits caught early in a burst "
+                "exhaust every retry and are accepted corrupt "
+                "(retransmission_giveups)"
+            ),
+            hint=(
+                "shorten mean_on below the give-up window, raise "
+                "max_nack_retries, or protect the path with e2e/fec "
+                "instead of hbh"
+            ),
+            witness=(
+                f"retry timeline at {fault.node}:"
+                f"{fault.direction.name.lower()}:",
+                "corrupt arrival at burst cycle 0",
+                f"-> {cfg.noc.max_nack_retries} NACK rounds x "
+                f">={MIN_RETX_DEPTH} cycles each = give-up by burst cycle "
+                f"{giveup_window}",
+                f"-> on-window still open for ~{fault.mean_on:g} cycles "
+                f"(strike rate {fault.rate:g} corrupts each replay in turn)",
+            ),
+        )

@@ -57,7 +57,17 @@ from repro.config import (
     SimulationConfig,
     WorkloadConfig,
 )
-from repro.experiments.degradation import DegradationPoint, run_degradation
+from repro.experiments.degradation import (
+    BurstDegradationPoint,
+    DegradationPoint,
+    run_burst_degradation,
+    run_degradation,
+)
+from repro.faults.intermittent import (
+    IntermittentFault,
+    IntermittentFaultSchedule,
+    WearOutConfig,
+)
 from repro.noc.simulator import SimulationResult, Simulator, run_simulation
 from repro.serialization import (
     config_from_dict,
@@ -74,11 +84,15 @@ from repro.telemetry import (
 )
 
 __all__ = [
+    "BurstDegradationPoint",
     "CheckpointError",
     "DegradationPoint",
     "DiagnosticReport",
     "FaultConfig",
     "FaultSweepVerdict",
+    "IntermittentFault",
+    "IntermittentFaultSchedule",
+    "WearOutConfig",
     "RoutingCertificate",
     "TraversalVerdict",
     "certify_config",
@@ -93,6 +107,7 @@ __all__ = [
     "config_from_dict",
     "config_to_dict",
     "degrade",
+    "degrade_burst",
     "envelope",
     "lint",
     "load_checkpoint",
@@ -326,5 +341,14 @@ def verify(
 def degrade(**kwargs: Any) -> List[DegradationPoint]:
     """Run the graceful-degradation campaign (progressive random link
     kills); see :func:`repro.experiments.degradation.run_degradation` for
-    the keyword surface (width, height, max_kills, injection_rate, ...)."""
+    the keyword surface (width, height, max_kills, injection_rate,
+    routing, ...)."""
     return run_degradation(**kwargs)
+
+
+def degrade_burst(**kwargs: Any) -> List[BurstDegradationPoint]:
+    """Run the intermittent/wear-out degradation sweep (burst intensity x
+    wear rate over seeded burst sites); see
+    :func:`repro.experiments.degradation.run_burst_degradation` for the
+    keyword surface (burst_rates, wear_thresholds, num_sites, ...)."""
+    return run_burst_degradation(**kwargs)

@@ -102,6 +102,35 @@ def _add_platform_flags(parser: argparse.ArgumentParser) -> None:
         metavar="NODE:DIR:VC[@CYCLE]",
         help="permanently kill one input VC buffer (repeatable)",
     )
+    parser.add_argument(
+        "--intermittent-link",
+        action="append",
+        default=[],
+        metavar="NODE:DIR:RATE:ON:OFF[@CYCLE]",
+        help="add a bursty link site (repeatable): strike probability RATE "
+        "during exponentially distributed on-windows of mean ON cycles, "
+        "separated by off-windows of mean OFF, e.g. 12:east:0.4:30:200",
+    )
+    parser.add_argument(
+        "--wear-out-threshold",
+        type=float,
+        metavar="STRESS",
+        help="escalate an intermittent site into a permanent link death "
+        "once its accumulated stress reaches this value (docs/FAULTS.md)",
+    )
+    parser.add_argument(
+        "--wear-out-strike-weight",
+        type=float,
+        default=1.0,
+        help="stress contributed per intermittent strike (default 1.0)",
+    )
+    parser.add_argument(
+        "--wear-out-traversal-weight",
+        type=float,
+        default=0.0,
+        help="stress contributed per flit traversal of the site's link "
+        "(default 0.0: strikes only)",
+    )
 
 
 def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
@@ -138,6 +167,33 @@ def _permanent_dicts(args: argparse.Namespace) -> List[Dict[str, Any]]:
     return PermanentFaultSchedule.of(*faults).to_dicts()
 
 
+def _intermittent_dicts(args: argparse.Namespace) -> List[Dict[str, Any]]:
+    """Parse the ``--intermittent-link`` specs into serialized burst sites."""
+    from repro.faults.intermittent import (
+        IntermittentFaultSchedule,
+        parse_intermittent_spec,
+    )
+
+    faults = []
+    try:
+        for spec in args.intermittent_link:
+            faults.append(parse_intermittent_spec(spec))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return IntermittentFaultSchedule.of(*faults).to_dicts()
+
+
+def _wear_out_dict(args: argparse.Namespace) -> Optional[Dict[str, float]]:
+    if args.wear_out_threshold is None:
+        return None
+    return {
+        "threshold": args.wear_out_threshold,
+        "strike_weight": args.wear_out_strike_weight,
+        "traversal_weight": args.wear_out_traversal_weight,
+    }
+
+
 def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
     """The serialized config dict the flags describe (no constructors run,
     so ``lint`` can diagnose values the constructors would reject)."""
@@ -171,6 +227,8 @@ def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
             "link_multi_bit_fraction": args.multi_bit_fraction,
             "seed": args.seed,
             "permanent": _permanent_dicts(args),
+            "intermittent": _intermittent_dicts(args),
+            "wear_out": _wear_out_dict(args),
         },
         "workload": {
             "pattern": args.pattern,
@@ -364,6 +422,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-cycles", type=int, default=1500, help="injection window length"
     )
     degrade.add_argument("--seed", type=int, default=17)
+    degrade.add_argument(
+        "--routing",
+        choices=["ft_table", "xy", "west_first", "fully_adaptive"],
+        default="ft_table",
+        help="routing algorithm under test (default: fault-aware ft_table)",
+    )
+    degrade.add_argument(
+        "--burst",
+        action="store_true",
+        help="sweep intermittent burst intensity x wear-out rate instead "
+        "of progressive clean kills (docs/FAULTS.md)",
+    )
+    degrade.add_argument(
+        "--burst-rates",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1, 0.3, 0.6],
+        help="on-window strike probabilities to sweep (with --burst)",
+    )
+    degrade.add_argument(
+        "--wear-thresholds",
+        type=float,
+        nargs="+",
+        default=[200.0, 50.0],
+        help="strike-count escalation thresholds to sweep (with --burst); "
+        "an intermittent-only row with no escalation is always included",
+    )
+    degrade.add_argument(
+        "--burst-sites",
+        type=int,
+        default=6,
+        help="number of seeded links the burst sweep stresses (with --burst)",
+    )
     degrade.add_argument(
         "--invariant-checks",
         action="store_true",
@@ -738,6 +829,8 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
 
     from repro.experiments.degradation import run_degradation
 
+    if args.burst:
+        return _cmd_degrade_burst(args)
     points = run_degradation(
         width=args.width,
         height=args.height,
@@ -746,6 +839,7 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
         inject_cycles=args.inject_cycles,
         seed=args.seed,
         invariant_checks=args.invariant_checks,
+        routing=RoutingAlgorithm(args.routing),
     )
     if args.json:
         from repro.serialization import envelope
@@ -757,6 +851,7 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
             "injection_rate": args.rate,
             "inject_cycles": args.inject_cycles,
             "seed": args.seed,
+            "routing": args.routing,
         }
         print(
             json.dumps(
@@ -793,7 +888,7 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
             ],
             rows,
             f"Graceful degradation — {args.width}x{args.height} mesh, "
-            f"fault-aware table routing (seed {args.seed})",
+            f"{args.routing} routing (seed {args.seed})",
         )
     )
     if not args.no_chart:
@@ -809,6 +904,82 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
                 },
             )
         )
+    return 0
+
+
+def _cmd_degrade_burst(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    from repro.experiments.degradation import run_burst_degradation
+
+    wear_thresholds: List[Optional[float]] = [None]
+    wear_thresholds.extend(args.wear_thresholds)
+    points = run_burst_degradation(
+        width=args.width,
+        height=args.height,
+        burst_rates=args.burst_rates,
+        wear_thresholds=wear_thresholds,
+        num_sites=args.burst_sites,
+        injection_rate=args.rate,
+        inject_cycles=args.inject_cycles,
+        seed=args.seed,
+        invariant_checks=args.invariant_checks,
+        routing=RoutingAlgorithm(args.routing),
+    )
+    if args.json:
+        from repro.serialization import envelope
+
+        campaign = {
+            "width": args.width,
+            "height": args.height,
+            "burst_rates": list(args.burst_rates),
+            "wear_thresholds": wear_thresholds,
+            "burst_sites": args.burst_sites,
+            "injection_rate": args.rate,
+            "inject_cycles": args.inject_cycles,
+            "seed": args.seed,
+            "routing": args.routing,
+        }
+        print(
+            json.dumps(
+                envelope(
+                    "degrade_burst",
+                    [_dc.asdict(p) for p in points],
+                    config=campaign,
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    rows = [
+        [
+            f"{p.burst_rate:.2f}",
+            "-" if p.wear_threshold is None else f"{p.wear_threshold:g}",
+            f"{p.delivery_rate:.4f}",
+            f"{p.latency_inflation:.3f}",
+            p.intermittent_strikes,
+            p.escalations,
+            p.packets_lost,
+        ]
+        for p in points
+    ]
+    print(
+        render_comparison_table(
+            [
+                "burst rate",
+                "wear thresh",
+                "delivery",
+                "inflation",
+                "strikes",
+                "escalated",
+                "lost",
+            ],
+            rows,
+            f"Burst/wear-out degradation — {args.width}x{args.height} mesh, "
+            f"{args.burst_sites} stressed links (seed {args.seed})",
+        )
+    )
     return 0
 
 

@@ -22,6 +22,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
+from repro.faults.intermittent import IntermittentFaultSchedule, WearOutConfig
 from repro.faults.permanent import PermanentFaultSchedule
 from repro.telemetry.config import TelemetryConfig
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
@@ -198,6 +199,13 @@ class FaultConfig:
     at a given cycle and stay dead (:mod:`repro.faults.permanent`).  These
     are deterministic (no RNG involvement), so the transient seed stream is
     unaffected by their presence.
+
+    ``intermittent`` schedules bursty link sites
+    (:mod:`repro.faults.intermittent`): per-site Markov on/off processes
+    whose strikes draw from *per-site* RNG streams derived from ``seed`` —
+    the shared transient stream is again unaffected.  ``wear_out``
+    optionally escalates stressed intermittent sites into the permanent
+    machinery (the full lifecycle is specified in docs/FAULTS.md).
     """
 
     rates: Mapping[FaultSite, float] = field(default_factory=dict)
@@ -206,12 +214,31 @@ class FaultConfig:
     permanent: PermanentFaultSchedule = field(
         default_factory=PermanentFaultSchedule.empty
     )
+    intermittent: IntermittentFaultSchedule = field(
+        default_factory=IntermittentFaultSchedule.empty
+    )
+    wear_out: Optional[WearOutConfig] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.permanent, PermanentFaultSchedule):
             raise TypeError(
                 "permanent must be a PermanentFaultSchedule, "
                 f"got {type(self.permanent).__name__}"
+            )
+        if not isinstance(self.intermittent, IntermittentFaultSchedule):
+            raise TypeError(
+                "intermittent must be an IntermittentFaultSchedule, "
+                f"got {type(self.intermittent).__name__}"
+            )
+        if self.wear_out is not None and not isinstance(self.wear_out, WearOutConfig):
+            raise TypeError(
+                "wear_out must be a WearOutConfig or None, "
+                f"got {type(self.wear_out).__name__}"
+            )
+        if self.wear_out is not None and not self.intermittent:
+            raise ValueError(
+                "wear_out is configured but no intermittent sites exist to "
+                "accumulate stress; add an IntermittentFaultSchedule"
             )
         for site, rate in self.rates.items():
             if not isinstance(site, FaultSite):

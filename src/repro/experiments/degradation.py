@@ -21,6 +21,13 @@ Each level ``k`` kills the first ``k`` links of one seed-shuffled ordering,
 so level ``k`` is always level ``k-1`` plus one more dead link — a
 progressive decay of a single unlucky chip rather than independent random
 topologies per level.
+
+:func:`run_burst_degradation` is the intermittent/wear-out companion
+(``repro degrade --burst``): instead of clean kills it sweeps burst
+*intensity* (the on-window strike probability) against wear *rate* (the
+escalation threshold — lower thresholds wear out faster) over a fixed set
+of seeded burst sites, reporting delivery, latency inflation and how many
+sites escalated into hard deaths (docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -28,9 +35,14 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.faults.intermittent import (
+    IntermittentFault,
+    IntermittentFaultSchedule,
+    WearOutConfig,
+)
 from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 from repro.noc.routing import FaultAwareRouting
 from repro.noc.simulator import Simulator
@@ -135,8 +147,16 @@ def run_degradation(
     drain_cycles: int = 20_000,
     seed: int = 17,
     invariant_checks: bool = False,
+    routing: RoutingAlgorithm = RoutingAlgorithm.FT_TABLE,
 ) -> List[DegradationPoint]:
-    """The full campaign: one :class:`DegradationPoint` per kill level."""
+    """The full campaign: one :class:`DegradationPoint` per kill level.
+
+    ``routing`` selects the algorithm under test (the resilience-artifact
+    matrix compares them); non-fault-aware algorithms like ``west_first``
+    cannot reroute — their curves show what the faults cost without
+    reconfiguration, and ``reachable_fraction`` reports 1.0 since no
+    tables exist to consult.
+    """
     if max_kills < 0:
         raise ValueError("max_kills must be non-negative")
     kill_order = mesh_links(width, height)
@@ -151,9 +171,7 @@ def run_degradation(
     for kills in range(max_kills + 1):
         schedule = _schedule_for_level(kill_order, kills, late_cycle)
         config = SimulationConfig(
-            noc=NoCConfig(
-                width=width, height=height, routing=RoutingAlgorithm.FT_TABLE
-            ),
+            noc=NoCConfig(width=width, height=height, routing=routing),
             faults=dataclasses.replace(
                 FaultConfig.fault_free(), permanent=schedule
             ),
@@ -176,7 +194,11 @@ def run_degradation(
         if healthy_latency is None:
             healthy_latency = latency
         routing_fn = network.routing_fn
-        assert isinstance(routing_fn, FaultAwareRouting)
+        reachable = (
+            routing_fn.reachable_fraction()
+            if isinstance(routing_fn, FaultAwareRouting)
+            else 1.0
+        )
         points.append(
             DegradationPoint(
                 kills=kills,
@@ -184,7 +206,7 @@ def run_degradation(
                 packets_delivered=network.delivered,
                 packets_lost=network.lost,
                 delivery_rate=(network.delivered / injected) if injected else 1.0,
-                reachable_fraction=routing_fn.reachable_fraction(),
+                reachable_fraction=reachable,
                 avg_latency=latency,
                 latency_inflation=(
                     latency / healthy_latency if healthy_latency else 1.0
@@ -193,4 +215,124 @@ def run_degradation(
                 hit_cycle_limit=hit_limit,
             )
         )
+    return points
+
+
+@dataclass(frozen=True)
+class BurstDegradationPoint:
+    """Measured service level for one (burst intensity, wear rate) cell."""
+
+    burst_rate: float
+    wear_threshold: Optional[float]
+    packets_injected: int
+    packets_delivered: int
+    packets_lost: int
+    delivery_rate: float
+    avg_latency: float
+    latency_inflation: float
+    intermittent_strikes: int
+    bursts_started: int
+    escalations: int
+    hit_cycle_limit: bool
+
+
+def burst_sites(
+    width: int, height: int, num_sites: int, seed: int
+) -> List[Tuple[int, Direction]]:
+    """The seeded set of links a burst sweep stresses (fixed across cells
+    so the sweep varies intensity, not geography)."""
+    links = mesh_links(width, height)
+    if num_sites > len(links):
+        raise ValueError(
+            f"cannot stress {num_sites} sites; the mesh only has {len(links)}"
+        )
+    random.Random(seed).shuffle(links)
+    return links[:num_sites]
+
+
+def run_burst_degradation(
+    width: int = 8,
+    height: int = 8,
+    burst_rates: Sequence[float] = (0.0, 0.1, 0.3, 0.6),
+    wear_thresholds: Sequence[Optional[float]] = (None, 200.0, 50.0),
+    num_sites: int = 6,
+    mean_on: float = 40.0,
+    mean_off: float = 160.0,
+    injection_rate: float = 0.1,
+    inject_cycles: int = 1500,
+    drain_cycles: int = 20_000,
+    seed: int = 17,
+    invariant_checks: bool = False,
+    routing: RoutingAlgorithm = RoutingAlgorithm.FT_TABLE,
+) -> List[BurstDegradationPoint]:
+    """Sweep burst intensity x wear rate over a fixed set of stressed links.
+
+    ``burst_rates`` are the on-window strike probabilities; each
+    ``wear_thresholds`` entry is a strike-count escalation threshold
+    (``None`` = intermittent only, sites never escalate).  The
+    ``burst_rate == 0`` column is the healthy baseline the latency
+    inflation normalizes against.
+    """
+    sites = burst_sites(width, height, num_sites, seed)
+    points: List[BurstDegradationPoint] = []
+    healthy_latency: Optional[float] = None
+    for threshold in wear_thresholds:
+        for rate in burst_rates:
+            schedule = IntermittentFaultSchedule.of(
+                *(
+                    IntermittentFault(node, direction, rate, mean_on, mean_off)
+                    for node, direction in sites
+                )
+            )
+            wear = (
+                WearOutConfig(threshold=threshold)
+                if threshold is not None
+                else None
+            )
+            config = SimulationConfig(
+                noc=NoCConfig(width=width, height=height, routing=routing),
+                faults=dataclasses.replace(
+                    FaultConfig.fault_free(seed=seed),
+                    intermittent=schedule,
+                    wear_out=wear,
+                ),
+                workload=WorkloadConfig(
+                    injection_rate=injection_rate,
+                    num_messages=1,  # the level loop drives cycles itself
+                    max_cycles=inject_cycles + drain_cycles,
+                    warmup_messages=0,
+                    seed=seed,
+                ),
+                invariant_checks=invariant_checks,
+            )
+            sim, _, hit_limit = _run_level(
+                config, inject_cycles, None, drain_cycles
+            )
+            network = sim.network
+            stats = network.stats
+            injected = stats.packets_injected
+            latency = stats.latency.mean
+            if healthy_latency is None:
+                healthy_latency = latency
+            counters = stats.counters
+            points.append(
+                BurstDegradationPoint(
+                    burst_rate=rate,
+                    wear_threshold=threshold,
+                    packets_injected=injected,
+                    packets_delivered=network.delivered,
+                    packets_lost=network.lost,
+                    delivery_rate=(
+                        (network.delivered / injected) if injected else 1.0
+                    ),
+                    avg_latency=latency,
+                    latency_inflation=(
+                        latency / healthy_latency if healthy_latency else 1.0
+                    ),
+                    intermittent_strikes=counters.get("intermittent_strikes", 0),
+                    bursts_started=counters.get("intermittent_bursts_started", 0),
+                    escalations=counters.get("wear_out_escalations", 0),
+                    hit_cycle_limit=hit_limit,
+                )
+            )
     return points

@@ -12,9 +12,20 @@ have, never the injector's ground truth.
 Permanent (hard) faults live in :mod:`repro.faults.permanent`: a
 :class:`PermanentFaultSchedule` of links/routers/VC buffers that die at a
 given cycle, applied by the network and rerouted around.
+
+Between the two sits :mod:`repro.faults.intermittent`: bursty per-site
+fault processes whose accumulated stress can *escalate* a site into the
+permanent machinery (the transient → intermittent → wear-out → permanent
+lifecycle, docs/FAULTS.md).
 """
 
 from repro.faults.injector import FaultInjector
+from repro.faults.intermittent import (
+    IntermittentFault,
+    IntermittentFaultSchedule,
+    IntermittentLifecycle,
+    WearOutConfig,
+)
 from repro.faults.models import FaultEvent, FaultLog
 from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 
@@ -22,6 +33,10 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultLog",
+    "IntermittentFault",
+    "IntermittentFaultSchedule",
+    "IntermittentLifecycle",
     "PermanentFault",
     "PermanentFaultSchedule",
+    "WearOutConfig",
 ]

@@ -43,6 +43,11 @@ class FaultInjector:
         #: Publishing happens only inside rate-hit branches — cold paths —
         #: and draws no randomness, so the seed stream is unaffected.
         self.telemetry = None
+        #: Intermittent/wear-out lifecycle (wired by the Network when a
+        #: schedule is configured).  Its per-site RNG streams are disjoint
+        #: from ``self.rng``, so adding burst sites never perturbs the
+        #: shared transient stream.
+        self.lifecycle = None
         # Cache rates as plain floats: these are the hottest calls in the
         # simulator, and attribute/dict lookups dominate otherwise.
         self._rate_link = config.rate(FaultSite.LINK)
@@ -68,8 +73,18 @@ class FaultInjector:
 
     # -- link -------------------------------------------------------------
 
-    def link_upset(self, cycle: int, node: int) -> Optional[Corruption]:
-        """Corruption suffered by a flit during one link traversal."""
+    def link_upset(
+        self, cycle: int, node: int, direction: Optional[Direction] = None
+    ) -> Optional[Corruption]:
+        """Corruption suffered by a flit during one link traversal.
+
+        The memoryless background rate draws from the shared stream first
+        (unchanged whether or not intermittent sites exist); when the
+        caller names the link's ``direction`` and a burst lifecycle is
+        wired, the site's own stream may add an intermittent strike, and
+        the worse corruption class wins.
+        """
+        severity = None
         if self._rate_link and self.rng.random() < self._rate_link:
             severity = (
                 Corruption.MULTI
@@ -82,8 +97,15 @@ class FaultInjector:
                     cycle, "transient_fault", node,
                     site="link", severity=severity.name.lower(),
                 )
-            return severity
-        return None
+        if self.lifecycle is not None and direction is not None:
+            strike = self.lifecycle.strike(
+                cycle, node, direction, self._multi_fraction
+            )
+            if strike is not None and (
+                severity is None or strike.value > severity.value
+            ):
+                severity = strike
+        return severity
 
     # -- routing logic -----------------------------------------------------
 

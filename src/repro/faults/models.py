@@ -29,6 +29,10 @@ class FaultLog:
     """Per-site counters plus an optional bounded event trace."""
 
     def __init__(self, log_events: bool = False, max_events: int = 10_000):
+        #: Pre-seeded with the enum sites for stable iteration order, but
+        #: NOT a closed set: escalated/derived sites recorded after
+        #: construction (e.g. the intermittent lifecycle) get entries on
+        #: first use instead of a KeyError.
         self.counts: Dict[FaultSite, int] = {site: 0 for site in FaultSite}
         self.log_events = log_events
         self._events: Deque[FaultEvent] = deque(maxlen=max_events)
@@ -40,7 +44,7 @@ class FaultLog:
     def record(
         self, site: FaultSite, cycle: int, node: int, detail: str = ""
     ) -> None:
-        self.counts[site] += 1
+        self.counts[site] = self.counts.get(site, 0) + 1
         if self.log_events:
             if len(self._events) == self._events.maxlen:
                 self.dropped_events += 1
@@ -51,7 +55,7 @@ class FaultLog:
         return sum(self.counts.values())
 
     def count(self, site: FaultSite) -> int:
-        return self.counts[site]
+        return self.counts.get(site, 0)
 
     def events(self, site: Optional[FaultSite] = None) -> Iterator[FaultEvent]:
         for event in self._events:

@@ -80,6 +80,8 @@ def kernel_supports(config: Any) -> Optional[str]:
         return "transient fault rates are nonzero"
     if config.faults.permanent:
         return "a permanent-fault schedule is configured"
+    if config.faults.intermittent:
+        return "an intermittent/wear-out fault lifecycle is configured"
     noc = config.noc
     if noc.link_protection is LinkProtection.E2E:
         return "end-to-end protection schedules reverse-path events"

@@ -36,6 +36,11 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 from repro.config import SimulationConfig
 from repro.core.schemes import DeliveryAction, destination_policy
 from repro.faults.injector import FaultInjector
+from repro.faults.intermittent import (
+    IntermittentFaultSchedule,
+    IntermittentLifecycle,
+    _SiteState,
+)
 from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 from repro.noc.flit import Flit
 from repro.noc.kernel import BatchedKernel, kernel_supports
@@ -316,8 +321,19 @@ class Network:
         self.injector.telemetry = self.telemetry
         routing_fn = resolve_routing_function(noc.routing, self.topology)
         schedule = config.faults.permanent
+        intermittent = config.faults.intermittent
+        wear_out = config.faults.wear_out
         if schedule:
             self._validate_schedule(schedule)
+        if intermittent:
+            self._validate_intermittent(intermittent)
+        # Wear-out escalation turns intermittent sites into hard deaths, so
+        # it needs the same survivable-routing treatment as an explicit
+        # schedule.
+        may_lose_components = bool(schedule) or (
+            bool(intermittent) and wear_out is not None
+        )
+        if may_lose_components:
             if noc.routing in (RoutingAlgorithm.XY, RoutingAlgorithm.FT_TABLE):
                 # XY cannot route around dead components; substitute the
                 # fault-aware table routing (identical fault-free latency —
@@ -329,7 +345,8 @@ class Network:
                 import warnings
 
                 warnings.warn(
-                    "NOC013: a permanent-fault schedule is configured but "
+                    "NOC013: hard faults (a permanent-fault schedule or "
+                    "wear-out escalation) are configured but "
                     f"{noc.routing.value} routing cannot reroute around "
                     "dead components; packets whose paths cross them will "
                     "be dropped (use xy or ft_table routing for "
@@ -441,9 +458,28 @@ class Network:
         #: Packets destroyed by permanent faults, deduplicated so each is
         #: counted lost exactly once however many of its flits die.
         self._lost_packets: Set[int] = set()
-        #: True once any permanent fault is scheduled: enables the NI-side
-        #: reachability filter (zero overhead on fault-free platforms).
-        self.degraded = bool(schedule)
+        #: True once any hard fault can occur (a schedule, or wear-out
+        #: escalation): enables the NI-side reachability filter (zero
+        #: overhead on fault-free platforms).
+        self.degraded = may_lose_components
+        #: The intermittent/wear-out lifecycle, or None without burst
+        #: sites.  Built after wiring so it can hold the same Link objects
+        #: as ``_link_map`` (the wear-out utilization gauge); advanced
+        #: eagerly once per cycle at the top of :meth:`step`, identically
+        #: ahead of both object loops, from per-site RNG streams disjoint
+        #: from the injector's shared transient stream.
+        self.lifecycle: Optional[IntermittentLifecycle] = None
+        if intermittent:
+            lifecycle = IntermittentLifecycle(
+                intermittent, wear_out, config.faults.seed
+            )
+            lifecycle.stats = self.stats
+            lifecycle.telemetry = self.telemetry
+            lifecycle.log = self.injector.log
+            for site in lifecycle.sites:
+                lifecycle.links[site.fault.key] = self._link_map[site.fault.key]
+            self.injector.lifecycle = lifecycle
+            self.lifecycle = lifecycle
         self._pending_faults: List[PermanentFault] = (
             schedule.sorted_by_cycle() if schedule else []
         )
@@ -547,6 +583,73 @@ class Network:
                         f"permanent fault names VC {fault.vc} but the "
                         f"platform has {self.config.noc.num_vcs} VCs"
                     )
+
+    def _validate_intermittent(
+        self, schedule: IntermittentFaultSchedule
+    ) -> None:
+        num_nodes = self.topology.num_nodes
+        for fault in schedule:
+            if fault.node >= num_nodes:
+                raise ValueError(
+                    f"intermittent fault names node {fault.node} but the "
+                    f"topology has {num_nodes} nodes"
+                )
+            if fault.direction not in self.topology.connected_directions(
+                fault.node
+            ):
+                raise ValueError(
+                    f"intermittent fault names link "
+                    f"{fault.node}:{fault.direction.name.lower()} "
+                    "but no such link exists in this topology"
+                )
+
+    def _advance_lifecycle(self) -> None:
+        """Advance every burst process by one cycle and escalate worn-out
+        sites.  Runs at the top of :meth:`step` right after scheduled
+        faults — identically ahead of both cycle loops — and draws only
+        from per-site streams, so the shared transient stream (and with it
+        the fast-path equivalence) is untouched."""
+        lifecycle = self.lifecycle
+        assert lifecycle is not None
+        due = lifecycle.advance(self.cycle)
+        for site in due:
+            self._escalate_site(site)
+
+    def _escalate_site(self, site: "_SiteState") -> None:
+        """Wear-out escalation: the site's accumulated stress crossed the
+        threshold, so its link dies *now* — the same teardown, counters,
+        reroute recomputation and telemetry as a scheduled
+        :class:`PermanentFault` link death at this cycle."""
+        fault = site.fault
+        site.escalated = True
+        if (
+            fault.key in self._dead_links
+            or fault.node in self._dead_routers
+        ):
+            # Already dead through another path (scheduled death, router
+            # kill): nothing left to escalate.
+            return
+        lifecycle = self.lifecycle
+        assert lifecycle is not None
+        self.stats.count("wear_out_escalations")
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                self.cycle,
+                "wear_out_escalation",
+                fault.node,
+                direction=fault.direction.name.lower(),
+                strikes=site.strikes,
+                stress=lifecycle.stress(site),
+            )
+        self._apply_fault(
+            PermanentFault(
+                kind="link",
+                node=fault.node,
+                direction=fault.direction,
+                cycle=self.cycle,
+            )
+        )
+        self._reconfigure_routing()
 
     def _advance_fault_cursor(self) -> None:
         if self._fault_index < len(self._pending_faults):
@@ -732,6 +835,8 @@ class Network:
         next_fault = self._next_fault_cycle
         if next_fault is not None and next_fault <= self.cycle:
             self._apply_due_faults()
+        if self.lifecycle is not None:
+            self._advance_lifecycle()
         kernel = self.kernel
         if kernel is not None:
             kernel.step()

@@ -644,7 +644,7 @@ class Router:
                 channel.retx.corrupted_seqs.add(seq)
             if self.injector.retx_upset(cycle, self.node):
                 channel.retx.corrupted_seqs.add(seq)
-            upset = self.injector.link_upset(cycle, self.node)
+            upset = self.injector.link_upset(cycle, self.node, link.src_port)
             if upset is not None and upset.value > corruption.value:
                 corruption = upset
             self.stats.energy_event("link")

@@ -18,6 +18,7 @@ from repro.config import (
     SimulationConfig,
     WorkloadConfig,
 )
+from repro.faults.intermittent import IntermittentFaultSchedule, WearOutConfig
 from repro.faults.permanent import PermanentFaultSchedule
 from repro.noc.simulator import SimulationResult
 from repro.telemetry.config import TelemetryConfig
@@ -35,6 +36,12 @@ def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
         "link_multi_bit_fraction": config.faults.link_multi_bit_fraction,
         "seed": config.faults.seed,
         "permanent": config.faults.permanent.to_dicts(),
+        "intermittent": config.faults.intermittent.to_dicts(),
+        "wear_out": (
+            config.faults.wear_out.to_dict()
+            if config.faults.wear_out is not None
+            else None
+        ),
     }
     return {
         "noc": noc,
@@ -67,6 +74,10 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
         permanent=PermanentFaultSchedule.from_dicts(
             faults_data.get("permanent", [])
         ),
+        intermittent=IntermittentFaultSchedule.from_dicts(
+            faults_data.get("intermittent", [])
+        ),
+        wear_out=WearOutConfig.from_dict(faults_data.get("wear_out")),
     )
     return SimulationConfig(
         noc=NoCConfig(**noc_data),

@@ -94,6 +94,13 @@ counter                               incremented when
                                       can never arrive
 ``reroute_recomputations``            the fault-aware routing tables are
                                       rebuilt after a topology change
+``intermittent_bursts_started``       an intermittent site's on-window opens
+                                      (the Markov burst process toggles on)
+``intermittent_strikes``              a burst corrupts a flit traversing its
+                                      link (on-window strike, docs/FAULTS.md)
+``wear_out_escalations``              an intermittent site's accumulated
+                                      stress crosses the wear-out threshold
+                                      and its link dies permanently
 ``checkpoints_written``               the auto-checkpoint schedule snapshots
                                       the run (counted before pickling, so a
                                       resumed run's counters still match an

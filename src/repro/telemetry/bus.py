@@ -42,6 +42,9 @@ EVENT_KINDS = frozenset(
         "permanent_fault",  # a scheduled hard fault took effect
         "reroute",  # fault-aware routing tables rebuilt
         "transient_fault",  # the injector landed an upset (site in data)
+        "burst_start",  # an intermittent site's on-window opened
+        "burst_end",  # an intermittent site's on-window closed
+        "wear_out_escalation",  # accumulated stress turned a site hard-dead
         "packet_lost",  # a packet reached a terminal loss
         "trace_sighting",  # PacketTracer observation (opt-in, very chatty)
         "sanitizer_violation",  # SIM1xx invariant check failed

@@ -37,7 +37,7 @@ def rule_ids(report):
 class TestCatalogue:
     def test_ids_are_stable_and_ordered(self):
         ids = [entry.rule_id for entry in iter_rules()]
-        assert ids == [f"NOC{n:03d}" for n in range(1, 15)]
+        assert ids == [f"NOC{n:03d}" for n in range(1, 16)]
 
     def test_paper_baseline_is_clean(self):
         assert len(lint_config(make_config())) == 0
@@ -332,6 +332,54 @@ class TestNOC013PermanentRerouting:
         )
         assert not report.by_rule("NOC013")
 
+    def test_fires_for_wear_out_escalation(self):
+        import dataclasses
+
+        from repro.faults.intermittent import (
+            IntermittentFault,
+            IntermittentFaultSchedule,
+            WearOutConfig,
+        )
+        from repro.types import Direction
+
+        faults = dataclasses.replace(
+            FaultConfig.fault_free(),
+            intermittent=IntermittentFaultSchedule.of(
+                IntermittentFault(5, Direction.EAST, 0.2, 10.0, 90.0)
+            ),
+            wear_out=WearOutConfig(threshold=50.0),
+        )
+        report = lint_config(
+            make_config(
+                noc=dict(routing=RoutingAlgorithm.WEST_FIRST), faults=faults
+            )
+        )
+        (diag,) = report.by_rule("NOC013")
+        assert "wear-out" in diag.message
+
+    def test_quiet_for_intermittent_without_wear_out(self):
+        import dataclasses
+
+        from repro.faults.intermittent import (
+            IntermittentFault,
+            IntermittentFaultSchedule,
+        )
+        from repro.types import Direction
+
+        # Bursts alone never kill hardware; nothing to reroute around.
+        faults = dataclasses.replace(
+            FaultConfig.fault_free(),
+            intermittent=IntermittentFaultSchedule.of(
+                IntermittentFault(5, Direction.EAST, 0.2, 10.0, 90.0)
+            ),
+        )
+        report = lint_config(
+            make_config(
+                noc=dict(routing=RoutingAlgorithm.WEST_FIRST), faults=faults
+            )
+        )
+        assert not report.by_rule("NOC013")
+
 
 class TestNOC014PartitionAtCycleZero:
     def _faults(self, *faults):
@@ -425,3 +473,60 @@ class TestNOC014PartitionAtCycleZero:
             )
         )
         assert not report.by_rule("NOC014")
+
+
+class TestNOC015BurstOutlastsRetx:
+    def _faults(self, rate=0.8, mean_on=60.0):
+        import dataclasses
+
+        from repro.faults.intermittent import (
+            IntermittentFault,
+            IntermittentFaultSchedule,
+        )
+        from repro.types import Direction
+
+        return dataclasses.replace(
+            FaultConfig.fault_free(),
+            intermittent=IntermittentFaultSchedule.of(
+                IntermittentFault(12, Direction.EAST, rate, mean_on, 200.0)
+            ),
+        )
+
+    def test_fires_for_long_hot_burst_under_hbh(self):
+        # Give-up window = max_nack_retries(8) * MIN_RETX_DEPTH(3) = 24
+        # cycles; a 60-cycle on-window at rate 0.8 covers it with margin.
+        report = lint_config(make_config(faults=self._faults()))
+        (diag,) = report.by_rule("NOC015")
+        assert diag.severity is Severity.WARNING
+        assert "12:east" in diag.message
+        assert diag.witness
+        assert any("give-up" in line for line in diag.witness)
+
+    def test_quiet_for_short_bursts(self):
+        report = lint_config(make_config(faults=self._faults(mean_on=10.0)))
+        assert not report.by_rule("NOC015")
+
+    def test_quiet_for_mild_strike_rates(self):
+        # A 0.1-rate burst rarely corrupts the same flit's replays too;
+        # give-up is a tail risk, not the expected outcome.
+        report = lint_config(make_config(faults=self._faults(rate=0.1)))
+        assert not report.by_rule("NOC015")
+
+    def test_quiet_for_non_hbh_schemes(self):
+        from repro.types import LinkProtection
+
+        report = lint_config(
+            make_config(
+                noc=dict(link_protection=LinkProtection.E2E),
+                faults=self._faults(),
+            )
+        )
+        assert not report.by_rule("NOC015")
+
+    def test_raised_retries_widen_the_window(self):
+        report = lint_config(
+            make_config(
+                noc=dict(max_nack_retries=32), faults=self._faults(mean_on=60.0)
+            )
+        )
+        assert not report.by_rule("NOC015")

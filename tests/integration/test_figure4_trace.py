@@ -28,7 +28,7 @@ def run_trace(corrupt_nth_traversal=None):
     if corrupt_nth_traversal is not None:
         counter = {"n": 0}
 
-        def link_upset(cycle, node):
+        def link_upset(cycle, node, direction=None):
             counter["n"] += 1
             if counter["n"] == corrupt_nth_traversal:
                 return Corruption.MULTI
@@ -93,7 +93,7 @@ class TestFigure4Trace:
         net2 = Network(SimulationConfig(noc=NoCConfig(width=2, height=1, num_vcs=1)))
         counter = {"n": 0}
 
-        def link_upset(cycle, node):
+        def link_upset(cycle, node, direction=None):
             counter["n"] += 1
             return Corruption.MULTI if counter["n"] in (1, 3) else None
 

@@ -15,6 +15,11 @@ this module green (see docs/PERFORMANCE.md).
 import pytest
 
 from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.faults.intermittent import (
+    IntermittentFault,
+    IntermittentFaultSchedule,
+    WearOutConfig,
+)
 from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 from repro.noc.network import Network
 from repro.noc.packet import Packet
@@ -42,6 +47,10 @@ def _config(activity_driven, **kw):
             rates=kw.get("rates", {}),
             seed=kw.get("seed", 42),
             permanent=kw.get("permanent", PermanentFaultSchedule.empty()),
+            intermittent=kw.get(
+                "intermittent", IntermittentFaultSchedule.empty()
+            ),
+            wear_out=kw.get("wear_out", None),
         ),
         workload=WorkloadConfig(
             injection_rate=kw.get("rate", 0.05),
@@ -115,6 +124,26 @@ SCENARIOS = {
         rates=ALL_SITES,
         rate=0.25,
         messages=250,
+    ),
+    # Intermittent bursts draw from per-site RNG streams; the shared
+    # injector stream and the activity sets must be untouched by them.
+    "intermittent_bursts": dict(
+        intermittent=IntermittentFaultSchedule.of(
+            IntermittentFault(5, Direction.EAST, 0.4, 25.0, 60.0),
+            IntermittentFault(10, Direction.NORTH, 0.6, 15.0, 40.0, start=100),
+        ),
+        rate=0.15,
+        messages=200,
+    ),
+    "intermittent_with_transients_and_wear_out": dict(
+        intermittent=IntermittentFaultSchedule.of(
+            IntermittentFault(6, Direction.SOUTH, 0.5, 30.0, 50.0),
+            IntermittentFault(9, Direction.WEST, 0.5, 30.0, 50.0),
+        ),
+        wear_out=WearOutConfig(threshold=12.0),
+        rates={FaultSite.LINK: 0.005},
+        rate=0.20,
+        messages=200,
     ),
 }
 
@@ -373,6 +402,14 @@ def test_kernel_supports_names_each_unsupported_feature():
                 )
             ),
             "permanent",
+        ),
+        (
+            dict(
+                intermittent=IntermittentFaultSchedule.of(
+                    IntermittentFault(5, Direction.EAST, 0.4, 25.0, 60.0)
+                )
+            ),
+            "intermittent",
         ),
         (dict(protection=LinkProtection.E2E), "end-to-end"),
         (dict(deadlock_recovery=True), "deadlock"),

@@ -61,7 +61,7 @@ class TestGiveUpPath:
         not loop forever."""
         net = build(max_nack_retries=3)
 
-        def always_multi(cycle, node):
+        def always_multi(cycle, node, direction=None):
             return Corruption.MULTI
 
         net.injector.link_upset = always_multi  # type: ignore[method-assign]

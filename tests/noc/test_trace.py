@@ -44,7 +44,7 @@ class TestTracer:
         net = build(width=4, num_vcs=1)
         hits = {"n": 0}
 
-        def upset(cycle, node):
+        def upset(cycle, node, direction=None):
             hits["n"] += 1
             return Corruption.MULTI if hits["n"] == 1 else None
 

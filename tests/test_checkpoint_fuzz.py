@@ -17,6 +17,12 @@ import pytest
 from repro.analysis.linter import lint_config
 from repro.checkpoint import load_checkpoint, save_checkpoint
 from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.faults.intermittent import (
+    IntermittentFault,
+    IntermittentFaultSchedule,
+    WearOutConfig,
+)
+from repro.experiments.degradation import mesh_links
 from repro.noc.simulator import Simulator
 from repro.serialization import result_to_dict
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
@@ -71,9 +77,42 @@ def _random_config(rng: random.Random) -> SimulationConfig:
         max_cycles=RUN_CYCLES,
         seed=rng.randint(0, 2**31),
     )
+    # Sometimes add an intermittent/wear-out lifecycle over a couple of
+    # connected links (the per-site RNG streams and burst windows are part
+    # of what the checkpoint must carry).
+    intermittent = IntermittentFaultSchedule.empty()
+    wear_out = None
+    if rng.random() < 0.5:
+        sites = rng.sample(mesh_links(width, height), k=rng.randint(1, 2))
+        intermittent = IntermittentFaultSchedule.of(
+            *(
+                IntermittentFault(
+                    node,
+                    direction,
+                    rate=rng.choice([0.1, 0.3, 0.45]),
+                    mean_on=rng.choice([8.0, 20.0]),
+                    mean_off=rng.choice([30.0, 80.0]),
+                    start=rng.choice([0, 40]),
+                )
+                for node, direction in sites
+            )
+        )
+        if rng.random() < 0.5:
+            # Low thresholds so escalation can land inside the 200-cycle
+            # window; traversal weight makes stress grow with traffic.
+            wear_out = WearOutConfig(
+                threshold=rng.choice([5.0, 30.0]),
+                strike_weight=1.0,
+                traversal_weight=rng.choice([0.0, 0.1]),
+            )
     return SimulationConfig(
         noc=noc,
-        faults=FaultConfig(rates=rates, seed=rng.randint(0, 2**31)),
+        faults=FaultConfig(
+            rates=rates,
+            seed=rng.randint(0, 2**31),
+            intermittent=intermittent,
+            wear_out=wear_out,
+        ),
         workload=workload,
         invariant_checks=True,
         activity_driven=rng.choice([True, False]),

@@ -13,9 +13,10 @@ External links (``http://``, ``https://``, ``mailto:``) are skipped — CI
 must not flake on someone else's server.
 
 Additionally enforces **module coverage**: every module under
-``src/repro/noc/`` must be referenced from at least one page in ``docs/``
-(as ``noc/<mod>.py``, ``noc.<mod>``, or inside a ``noc/{a,b}.py`` brace
-group), so new simulator modules cannot land undocumented.
+``src/repro/noc/`` and ``src/repro/faults/`` must be referenced from at
+least one page in ``docs/`` (as ``noc/<mod>.py``, ``noc.<mod>``, or
+inside a ``noc/{a,b}.py`` brace group — likewise for ``faults/``), so
+new simulator and fault-model modules cannot land undocumented.
 
 Exits non-zero listing every broken link or uncovered module.  Also usable
 as a library (``tests/test_docs_links.py``).
@@ -98,13 +99,18 @@ def check_file(path: pathlib.Path) -> List[str]:
 
 #: Directories whose modules every docs page set must cover, relative to
 #: the repo root.
-MODULE_DIRS = ["src/repro/noc"]
+MODULE_DIRS = ["src/repro/noc", "src/repro/faults"]
 
 #: How a docs page may reference a module: ``noc/kernel.py``,
 #: ``repro.noc.kernel``, or a brace group like ``noc/{flit,packet}.py``
-#: (the dependency diagram's idiom).  Scanned on raw text — the
-#: ARCHITECTURE.md diagram lives inside a code fence.
-MODULE_REF = re.compile(r"noc/\{([\w,]+)\}\.py|noc/(\w+)\.py|noc\.(\w+)")
+#: (the dependency diagram's idiom) — and the same three shapes under
+#: ``faults/``.  Scanned on raw text — the ARCHITECTURE.md diagram lives
+#: inside a code fence.
+MODULE_REF = re.compile(
+    r"(?:noc|faults)/\{([\w,]+)\}\.py"
+    r"|(?:noc|faults)/(\w+)\.py"
+    r"|(?:noc|faults)\.(\w+)"
+)
 
 
 def check_module_coverage() -> List[str]:
