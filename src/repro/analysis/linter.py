@@ -27,11 +27,11 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
 from repro.analysis.rules import LintContext, run_rules
 from repro.config import SimulationConfig
 from repro.noc.routing import resolve_routing_function
-from repro.noc.topology import MeshTopology, TorusTopology
+from repro.noc.topology import make_topology
 from repro.serialization import config_from_dict, config_to_dict
 from repro.types import RoutingAlgorithm
 
-#: (topology name, width, height, routing value, permanent schedule) -> verdict.
+#: (topology name, shape, routing value, permanent schedule) -> verdict.
 _CDG_CACHE: Dict[Tuple[object, ...], CDGVerdict] = {}
 
 
@@ -52,17 +52,13 @@ def cdg_verdict_for(config: SimulationConfig) -> Optional[CDGVerdict]:
     schedule = config.faults.permanent
     key: Tuple[object, ...] = (
         noc.topology,
-        noc.width,
-        noc.height,
+        noc.shape,
         noc.routing.value,
         schedule,
     )
     verdict = _CDG_CACHE.get(key)
     if verdict is None:
-        if noc.topology == "torus":
-            topology: MeshTopology = TorusTopology(noc.width, noc.height)
-        else:
-            topology = MeshTopology(noc.width, noc.height)
+        topology = make_topology(noc.topology, noc.shape, noc.link_latency)
         routing_fn = resolve_routing_function(noc.routing, topology)
         if schedule and noc.routing in (
             RoutingAlgorithm.XY,

@@ -146,18 +146,25 @@ def _noc001_buffer_bound(ctx: LintContext) -> Iterable[Diagnostic]:
 @rule("NOC002", "retransmission depth must cover the link round trip")
 def _noc002_retx_round_trip(ctx: LintContext) -> Iterable[Diagnostic]:
     depth = ctx.noc("retx_buffer_depth")
-    if not isinstance(depth, int) or depth >= MIN_RETX_DEPTH:
+    if not isinstance(depth, int):
+        return
+    # The round trip stretches with the slowest link: traversal (latency
+    # cycles) + error check + NACK propagation (latency cycles back).
+    required = MIN_RETX_DEPTH
+    if ctx.config is not None:
+        required = max(required, 2 * ctx.config.noc.max_link_latency + 1)
+    if depth >= required:
         return
     yield Diagnostic(
         rule_id="NOC002",
         severity=Severity.ERROR,
         message=(
             f"retransmission depth {depth} < link round trip "
-            f"({MIN_RETX_DEPTH} cycles: link traversal + error check + NACK "
+            f"({required} cycles: link traversal + error check + NACK "
             "propagation); a NACK would arrive after its flit left the "
             "replay window"
         ),
-        hint=f"set retx_buffer_depth >= {MIN_RETX_DEPTH}",
+        hint=f"set retx_buffer_depth >= {required}",
     )
 
 
@@ -213,7 +220,7 @@ def _noc004_cdg_cycle(ctx: LintContext) -> Iterable[Diagnostic]:
         severity=Severity.ERROR,
         message=(
             f"routing '{cfg.noc.routing.value}' on "
-            f"{cfg.noc.width}x{cfg.noc.height} {cfg.noc.topology} has a "
+            f"{cfg.noc.shape_text} {cfg.noc.topology} has a "
             "cyclic channel-dependency graph and deadlock recovery is "
             "disabled: the cycle below can fill and wedge forever"
         ),
@@ -305,11 +312,14 @@ def _noc007_vc_depth(ctx: LintContext) -> Iterable[Diagnostic]:
 
 @rule("NOC008", "torus + XY relies on wraparound cycles being recovered")
 def _noc008_torus_xy(ctx: LintContext) -> Iterable[Diagnostic]:
-    if ctx.noc("topology") != "torus" or ctx.noc("routing") != "xy":
+    if ctx.noc("topology") not in ("torus", "torus3d"):
         return
-    width = ctx.noc("width", 8)
-    height = ctx.noc("height", 8)
-    if isinstance(width, int) and isinstance(height, int) and max(width, height) < 4:
+    if ctx.noc("routing") != "xy":
+        return
+    shape = ctx.noc("shape")
+    if not isinstance(shape, (list, tuple)):
+        shape = (ctx.noc("width", 8), ctx.noc("height", 8))
+    if all(isinstance(d, int) for d in shape) and max(shape) < 4:
         # Rings of 3 route every hop directly to a neighbour (shortest-path
         # wraparound), so no same-direction channel chain — hence no wrap
         # cycle — can form; the CDG pass confirms this is deadlock-free.
@@ -511,7 +521,7 @@ def _noc014_partition_at_start(ctx: LintContext) -> Iterable[Diagnostic]:
         severity=Severity.WARNING,
         message=(
             f"the cycle-0 permanent schedule partitions the "
-            f"{cfg.noc.width}x{cfg.noc.height} {cfg.noc.topology}: "
+            f"{cfg.noc.shape_text} {cfg.noc.topology}: "
             f"{severed} of {len(alive) * (len(alive) - 1)} surviving "
             f"router pairs can never communicate (e.g. "
             f"{example[0]}->{example[1]}); their traffic is dropped as "

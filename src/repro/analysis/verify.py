@@ -64,7 +64,12 @@ from repro.noc.routing import (
     SourceRouting,
     resolve_routing_function,
 )
-from repro.noc.topology import MeshTopology, PortGraph, TorusTopology
+from repro.noc.topology import (
+    MeshTopology,
+    PortGraph,
+    TorusTopology,
+    make_topology,
+)
 from repro.types import Direction, FlitType, RoutingAlgorithm
 
 #: An ordered (src, dst) pair of node ids.
@@ -693,9 +698,7 @@ def static_routing_for(
 def topology_of(config: SimulationConfig) -> MeshTopology:
     """The topology instance a config describes."""
     noc = config.noc
-    if noc.topology == "torus":
-        return TorusTopology(noc.width, noc.height)
-    return MeshTopology(noc.width, noc.height)
+    return make_topology(noc.topology, noc.shape, noc.link_latency)
 
 
 def certify_config(
@@ -724,15 +727,26 @@ def certify_config(
         num_vcs=noc.num_vcs,
         expected_pairs=expected,
     )
+    platform: Dict[str, object] = {
+        "topology": noc.topology,
+        "routing": noc.routing.value,
+        "num_vcs": noc.num_vcs,
+        "permanent_faults": config.faults.permanent.to_dicts(),
+    }
+    # Same normalization as the config serializer: plain 2D unit-latency
+    # platforms keep the historical width/height keys (so the committed
+    # CERT artifact stays byte-stable); generalized platforms carry shape
+    # (and link_latency).
+    if noc.ndim == 2 and noc.max_link_latency == 1:
+        platform["width"], platform["height"] = noc.shape
+    else:
+        platform["shape"] = list(noc.shape)
+        latency = noc.link_latency
+        platform["link_latency"] = (
+            latency if isinstance(latency, int) else list(latency)
+        )
     entry: Dict[str, object] = {
-        "platform": {
-            "topology": noc.topology,
-            "width": noc.width,
-            "height": noc.height,
-            "routing": noc.routing.value,
-            "num_vcs": noc.num_vcs,
-            "permanent_faults": config.faults.permanent.to_dicts(),
-        },
+        "platform": platform,
         "routing": cert.to_dict(),
     }
     if name is not None:
@@ -758,17 +772,17 @@ def certify_config(
 STANDARD_TARGETS: Tuple[Dict[str, Any], ...] = (
     {
         "name": "mesh5x5_xy",
-        "noc": {"width": 5, "height": 5, "routing": "xy"},
+        "noc": {"shape": (5, 5), "routing": "xy"},
         "expect": {"certified": True},
     },
     {
         "name": "mesh5x5_west_first",
-        "noc": {"width": 5, "height": 5, "routing": "west_first"},
+        "noc": {"shape": (5, 5), "routing": "west_first"},
         "expect": {"certified": True},
     },
     {
         "name": "mesh5x5_ft_table",
-        "noc": {"width": 5, "height": 5, "routing": "ft_table"},
+        "noc": {"shape": (5, 5), "routing": "ft_table"},
         "single_link_kills": True,
         "multi_kills": (2, 3),
         "expect": {
@@ -779,20 +793,38 @@ STANDARD_TARGETS: Tuple[Dict[str, Any], ...] = (
     },
     {
         "name": "mesh8x8_xy",
-        "noc": {"width": 8, "height": 8, "routing": "xy"},
+        "noc": {"shape": (8, 8), "routing": "xy"},
         "expect": {"certified": True},
     },
     {
         "name": "mesh8x8_west_first",
-        "noc": {"width": 8, "height": 8, "routing": "west_first"},
+        "noc": {"shape": (8, 8), "routing": "west_first"},
         "expect": {"certified": True},
     },
     {
         "name": "torus5x5_xy",
-        "noc": {"width": 5, "height": 5, "topology": "torus", "routing": "xy"},
+        "noc": {"shape": (5, 5), "topology": "torus", "routing": "xy"},
         # The known negative: torus XY closes wrap cycles; the artifact
         # pins the witness so the flag can never silently disappear.
         "expect": {"certified": False, "deadlock_free": False},
+    },
+    {
+        "name": "mesh3x3x3_dor",
+        # The pinned 3D stack: dimension-ordered routing over 7-port
+        # routers with 2-cycle TSVs, plus the single-TSV/planar-link kill
+        # robustness sweep of the fault-aware rebuild.
+        "noc": {
+            "shape": (3, 3, 3),
+            "topology": "mesh3d",
+            "routing": "xy",
+            "link_latency": (1, 1, 2),
+            "retx_buffer_depth": 5,
+        },
+        "single_link_kills": True,
+        "expect": {
+            "certified": True,
+            "single_link_kills_certified": True,
+        },
     },
 )
 

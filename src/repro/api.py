@@ -56,6 +56,8 @@ from repro.config import (
     NoCConfig,
     SimulationConfig,
     WorkloadConfig,
+    parse_link_latency,
+    parse_shape,
 )
 from repro.experiments.degradation import (
     BurstDegradationPoint,
@@ -134,9 +136,13 @@ def load_config(source: Optional[ConfigLike] = None, **overrides: Any) -> Simula
     ``source`` may be an existing config (returned as-is unless overridden),
     a serialized dict, a path to a JSON config file, or a JSON string.
     Keyword overrides use the flat names scripts actually vary:
-    ``width, height, vcs, routing, scheme, rate, messages, warmup, seed,
-    max_cycles, pattern, link_error_rate, telemetry, metrics_interval`` —
-    any :class:`NoCConfig`/:class:`WorkloadConfig` field name also works.
+    ``shape, width, height, link_latency, vcs, routing, scheme, rate,
+    messages, warmup, seed, max_cycles, pattern, link_error_rate,
+    telemetry, metrics_interval`` — any :class:`NoCConfig`/
+    :class:`WorkloadConfig` field name also works.  ``shape`` accepts a
+    tuple or the CLI's ``"4x4x4"`` grammar and selects the topology axis
+    count; ``link_latency`` accepts an int, a per-axis tuple, or
+    ``"1,1,2"``.
 
     ``telemetry`` accepts a :class:`TelemetryConfig`, a dict, or ``True``
     (enable with defaults); ``faults`` accepts a :class:`FaultConfig` or a
@@ -203,6 +209,22 @@ def _apply_overrides(data: Dict[str, Any], overrides: Dict[str, Any]) -> None:
         elif key in _ALIASES:
             section, name = _ALIASES[key]
             data.setdefault(section, {})[name] = value
+        elif key == "shape":
+            # Accepts a tuple/list or the CLI's "4x4x4" grammar; wins over
+            # any width/height keys already in the serialized form.
+            data.setdefault("noc", {})["shape"] = list(parse_shape(value))
+        elif key == "link_latency":
+            latency = parse_link_latency(value)
+            data.setdefault("noc", {})["link_latency"] = (
+                latency if isinstance(latency, int) else list(latency)
+            )
+        elif key in ("width", "height"):
+            # Legacy per-axis overrides (still the common 2D spelling).
+            noc = data.setdefault("noc", {})
+            if "shape" in noc:
+                noc["shape"][0 if key == "width" else 1] = value
+            else:
+                noc[key] = value
         elif key in _NOC_FIELDS:
             data.setdefault("noc", {})[key] = value
         elif key in _WORKLOAD_FIELDS:
@@ -220,6 +242,12 @@ def _apply_overrides(data: Dict[str, Any], overrides: Dict[str, Any]) -> None:
             data[key] = value
         else:
             raise TypeError(f"load_config() got an unknown override {key!r}")
+    if "shape" in overrides and "topology" not in overrides:
+        # Match the CLI grammar: the axis count selects the topology family
+        # unless the caller pinned one explicitly.
+        noc = data.setdefault("noc", {})
+        base = noc.get("topology", "mesh").replace("3d", "")
+        noc["topology"] = base + ("3d" if len(noc["shape"]) == 3 else "")
 
 
 def run(

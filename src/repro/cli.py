@@ -31,15 +31,58 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.config import NoCConfig, SimulationConfig, WorkloadConfig
+from repro.config import (
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+    parse_link_latency,
+    parse_shape,
+)
 from repro.report.charts import render_comparison_table, render_series
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
 
 
+def _add_shape_flags(parser: argparse.ArgumentParser) -> None:
+    """Mesh-geometry knobs shared by every platform-building subcommand."""
+    parser.add_argument(
+        "--shape",
+        metavar="WxH[xD]",
+        help="mesh extents, e.g. 8x8 or 4x4x4 (a third axis selects the "
+        "3D topology with vertical TSV links)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=8, help="deprecated alias: use --shape"
+    )
+    parser.add_argument(
+        "--height", type=int, default=8, help="deprecated alias: use --shape"
+    )
+    parser.add_argument(
+        "--link-latency",
+        metavar="L[,L,L]",
+        help="cycles per link traversal, uniform (e.g. 1) or per axis "
+        "(e.g. 1,1,2 for 2-cycle vertical TSVs)",
+    )
+
+
+def _parse_shape_args(
+    args: argparse.Namespace,
+) -> "tuple[Optional[tuple], Optional[Any]]":
+    """Resolve ``--shape``/``--link-latency``, exiting 2 on bad grammar."""
+    shape = latency = None
+    try:
+        if getattr(args, "shape", None):
+            shape = parse_shape(args.shape)
+        if getattr(args, "link_latency", None):
+            latency = parse_link_latency(args.link_latency)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return shape, latency
+
+
 def _add_platform_flags(parser: argparse.ArgumentParser) -> None:
     """The NoC-platform and fault knobs shared by ``run`` and ``lint``."""
-    parser.add_argument("--width", type=int, default=8)
-    parser.add_argument("--height", type=int, default=8)
+    _add_shape_flags(parser)
     parser.add_argument("--vcs", type=int, default=3, help="virtual channels per port")
     parser.add_argument("--buffer-depth", type=int, default=4)
     parser.add_argument("--flits", type=int, default=4, help="flits per packet")
@@ -206,11 +249,24 @@ def _platform_dict(args: argparse.Namespace) -> Dict[str, Any]:
     ):
         if value:
             rates[site.value] = value
+    shape, link_latency = _parse_shape_args(args)
+    topology = "torus" if args.torus else "mesh"
+    if shape is not None:
+        geometry: Dict[str, Any] = {"shape": list(shape)}
+        if len(shape) == 3:
+            topology += "3d"
+    else:
+        geometry = {"width": args.width, "height": args.height}
+    if link_latency is not None:
+        geometry["link_latency"] = (
+            link_latency
+            if isinstance(link_latency, int)
+            else list(link_latency)
+        )
     out: Dict[str, Any] = {
         "noc": {
-            "width": args.width,
-            "height": args.height,
-            "topology": "torus" if args.torus else "mesh",
+            **geometry,
+            "topology": topology,
             "num_vcs": args.vcs,
             "vc_buffer_depth": args.buffer_depth,
             "flits_per_packet": args.flits,
@@ -412,10 +468,15 @@ def build_parser() -> argparse.ArgumentParser:
             "reconvergence time per kill level."
         ),
     )
-    degrade.add_argument("--width", type=int, default=8)
-    degrade.add_argument("--height", type=int, default=8)
+    _add_shape_flags(degrade)
     degrade.add_argument(
         "--kills", type=int, default=8, help="maximum number of dead links"
+    )
+    degrade.add_argument(
+        "--kill-pillars",
+        action="store_true",
+        help="kill whole TSV pillars (every vertical link of an (x,y) "
+        "column) instead of single links; needs a 3-axis --shape",
     )
     degrade.add_argument("--rate", type=float, default=0.1, help="flits/node/cycle")
     degrade.add_argument(
@@ -466,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     degrade.add_argument("--no-chart", action="store_true")
 
     sweep = sub.add_parser("sweep", help="latency vs injection rate")
+    _add_shape_flags(sweep)
     sweep.add_argument(
         "--routing",
         choices=["xy", "west_first", "fully_adaptive"],
@@ -511,8 +573,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         from repro.noc.simulator import Simulator
 
-        config = config_from_dict(_platform_dict(args))
-        sim = Simulator(config)
+        try:
+            config = config_from_dict(_platform_dict(args))
+            # Network construction cross-checks fault specs against the
+            # topology (e.g. 0:up on a 2D mesh) — also a usage error.
+            sim = Simulator(config)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         result = sim.run()
     except InvariantViolationError as exc:
@@ -615,9 +683,13 @@ def _print_verify_entry(entry: Dict[str, Any]) -> None:
     routing = entry["routing"]
     faults = len(platform["permanent_faults"])
     degraded = f", {faults} permanent faults applied" if faults else ""
+    if "shape" in platform:
+        dims = "x".join(str(d) for d in platform["shape"])
+    else:
+        dims = f"{platform['width']}x{platform['height']}"
     print(
-        f"{entry.get('name', '<config>')}: {platform['width']}x"
-        f"{platform['height']} {platform['topology']}, "
+        f"{entry.get('name', '<config>')}: {dims} "
+        f"{platform['topology']}, "
         f"{platform['routing']} routing, {platform['num_vcs']} VCs{degraded}"
     )
 
@@ -831,16 +903,30 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
 
     if args.burst:
         return _cmd_degrade_burst(args)
-    points = run_degradation(
-        width=args.width,
-        height=args.height,
-        max_kills=args.kills,
-        injection_rate=args.rate,
-        inject_cycles=args.inject_cycles,
-        seed=args.seed,
-        invariant_checks=args.invariant_checks,
-        routing=RoutingAlgorithm(args.routing),
-    )
+    shape, link_latency = _parse_shape_args(args)
+    if args.kill_pillars and (shape is None or len(shape) != 3):
+        print(
+            "error: --kill-pillars needs a 3-axis --shape (e.g. 4x4x4)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        points = run_degradation(
+            width=args.width,
+            height=args.height,
+            max_kills=args.kills,
+            injection_rate=args.rate,
+            inject_cycles=args.inject_cycles,
+            seed=args.seed,
+            invariant_checks=args.invariant_checks,
+            routing=RoutingAlgorithm(args.routing),
+            shape=shape,
+            link_latency=link_latency if link_latency is not None else 1,
+            kill_pillars=args.kill_pillars,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         from repro.serialization import envelope
 
@@ -853,6 +939,16 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "routing": args.routing,
         }
+        if shape is not None:
+            campaign["shape"] = list(shape)
+            campaign["width"], campaign["height"] = shape[0], shape[1]
+            campaign["kill_pillars"] = args.kill_pillars
+        if link_latency is not None:
+            campaign["link_latency"] = (
+                link_latency
+                if isinstance(link_latency, int)
+                else list(link_latency)
+            )
         print(
             json.dumps(
                 envelope(
@@ -875,10 +971,16 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
         ]
         for p in points
     ]
+    dims = (
+        "x".join(str(d) for d in shape)
+        if shape is not None
+        else f"{args.width}x{args.height}"
+    )
+    unit = "dead pillars" if args.kill_pillars else "dead links"
     print(
         render_comparison_table(
             [
-                "dead links",
+                unit,
                 "delivery",
                 "reachable",
                 "latency",
@@ -887,7 +989,7 @@ def _cmd_degrade(args: argparse.Namespace) -> int:
                 "lost",
             ],
             rows,
-            f"Graceful degradation — {args.width}x{args.height} mesh, "
+            f"Graceful degradation — {dims} mesh, "
             f"{args.routing} routing (seed {args.seed})",
         )
     )
@@ -914,9 +1016,11 @@ def _cmd_degrade_burst(args: argparse.Namespace) -> int:
 
     wear_thresholds: List[Optional[float]] = [None]
     wear_thresholds.extend(args.wear_thresholds)
+    shape, _ = _parse_shape_args(args)
     points = run_burst_degradation(
         width=args.width,
         height=args.height,
+        shape=shape,
         burst_rates=args.burst_rates,
         wear_thresholds=wear_thresholds,
         num_sites=args.burst_sites,
@@ -933,6 +1037,11 @@ def _cmd_degrade_burst(args: argparse.Namespace) -> int:
             "width": args.width,
             "height": args.height,
             "burst_rates": list(args.burst_rates),
+        }
+        if shape is not None:
+            campaign["shape"] = list(shape)
+            campaign["width"], campaign["height"] = shape[0], shape[1]
+        campaign |= {
             "wear_thresholds": wear_thresholds,
             "burst_sites": args.burst_sites,
             "injection_rate": args.rate,
@@ -952,6 +1061,11 @@ def _cmd_degrade_burst(args: argparse.Namespace) -> int:
             )
         )
         return 0
+    dims = (
+        "x".join(str(d) for d in shape)
+        if shape is not None
+        else f"{args.width}x{args.height}"
+    )
     rows = [
         [
             f"{p.burst_rate:.2f}",
@@ -976,7 +1090,7 @@ def _cmd_degrade_burst(args: argparse.Namespace) -> int:
                 "lost",
             ],
             rows,
-            f"Burst/wear-out degradation — {args.width}x{args.height} mesh, "
+            f"Burst/wear-out degradation — {dims} mesh, "
             f"{args.burst_sites} stressed links (seed {args.seed})",
         )
     )
@@ -986,11 +1100,25 @@ def _cmd_degrade_burst(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.noc.simulator import run_simulation
 
+    shape, link_latency = _parse_shape_args(args)
+    noc_kwargs: Dict[str, Any] = {}
+    if shape is not None:
+        noc_kwargs["shape"] = shape
+        if len(shape) == 3:
+            noc_kwargs["topology"] = "mesh3d"
+    if link_latency is not None:
+        noc_kwargs["link_latency"] = link_latency
+        max_latency = (
+            link_latency
+            if isinstance(link_latency, int)
+            else max(link_latency)
+        )
+        noc_kwargs["retx_buffer_depth"] = max(3, 2 * max_latency + 1)
     latencies = []
     points: List[Dict[str, Any]] = []
     for rate in args.rates:
         config = SimulationConfig(
-            noc=NoCConfig(routing=RoutingAlgorithm(args.routing)),
+            noc=NoCConfig(routing=RoutingAlgorithm(args.routing), **noc_kwargs),
             workload=WorkloadConfig(
                 injection_rate=rate,
                 num_messages=args.messages,
@@ -1014,6 +1142,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "messages": args.messages,
             "rates": list(args.rates),
         }
+        if shape is not None:
+            sweep_config["shape"] = list(shape)
+        if link_latency is not None:
+            sweep_config["link_latency"] = (
+                link_latency
+                if isinstance(link_latency, int)
+                else list(link_latency)
+            )
         print(
             json.dumps(
                 envelope("sweep", points, config=sweep_config),

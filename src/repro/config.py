@@ -19,16 +19,80 @@ The defaults reproduce the paper's simulation platform (Section 2.2):
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Mapping, Optional
+import warnings
+from dataclasses import InitVar, dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple, Union
 
 from repro.faults.intermittent import IntermittentFaultSchedule, WearOutConfig
 from repro.faults.permanent import PermanentFaultSchedule
 from repro.telemetry.config import TelemetryConfig
 from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
 
-#: Number of physical channels of a mesh router (N, E, S, W, LOCAL).
+#: Number of physical channels of a 2D mesh router (N, E, S, W, LOCAL).
+#: 3D routers have ``2 * ndim + 1 = 7`` ports; use ``NoCConfig.num_ports``.
 NUM_PORTS = 5
+
+#: Link-latency specification: uniform (int) or one entry per axis.
+LatencySpec = Union[int, Tuple[int, ...]]
+
+
+def parse_shape(value: Union[str, Sequence[int]]) -> Tuple[int, ...]:
+    """Normalize a platform shape to a tuple of ints.
+
+    Accepts a tuple/list of ints or the CLI's ``WIDTHxHEIGHT[xDEPTH]``
+    string grammar (``"8x8"``, ``"4x4x4"``).  Dimension-count and
+    positivity validation is :class:`NoCConfig`'s job.
+    """
+    if isinstance(value, str):
+        try:
+            return tuple(int(part) for part in value.lower().split("x"))
+        except ValueError:
+            raise ValueError(
+                f"bad shape {value!r}: expected WIDTHxHEIGHT[xDEPTH], "
+                'e.g. "8x8" or "4x4x4"'
+            ) from None
+    if isinstance(value, Sequence):
+        return tuple(int(v) for v in value)
+    raise TypeError(f"cannot interpret {value!r} as a shape")
+
+
+def parse_link_latency(value: Union[str, int, Sequence[int]]) -> LatencySpec:
+    """Normalize a link-latency spec: an int (uniform), a per-axis
+    sequence, or a string — ``"2"`` (uniform) / ``"1,1,2"`` (per axis)."""
+    if isinstance(value, bool):
+        raise TypeError("link latency must be an int, sequence or string")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        try:
+            parts = [int(p) for p in value.split(",")]
+        except ValueError:
+            raise ValueError(
+                f"bad link latency {value!r}: expected an int or "
+                'per-axis list, e.g. "2" or "1,1,2"'
+            ) from None
+        return parts[0] if len(parts) == 1 else tuple(parts)
+    if isinstance(value, Sequence):
+        return tuple(int(v) for v in value)
+    raise TypeError(f"cannot interpret {value!r} as a link latency")
+
+
+def _deprecated_dims_to_shape(
+    shape: Sequence[int], width: Optional[int], height: Optional[int]
+) -> Tuple[int, ...]:
+    """Fold deprecated ``width=``/``height=`` kwargs into a shape tuple."""
+    warnings.warn(
+        "width=/height= are deprecated; pass shape=(width, height) "
+        "(docs/TOPOLOGY.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    dims = list(shape)
+    if width is not None:
+        dims[0] = int(width)
+    if height is not None:
+        dims[1] = int(height)
+    return tuple(dims)
 
 
 @dataclass(frozen=True)
@@ -37,14 +101,21 @@ class NoCConfig:
 
     Parameters
     ----------
-    width, height:
-        Mesh dimensions (the paper uses 8x8).
+    shape:
+        Mesh dimensions per axis, x first (the paper uses ``(8, 8)``; a 3D
+        many-core stack is e.g. ``(4, 4, 4)``).  The deprecated ``width=``/
+        ``height=`` keyword aliases still work and override the matching
+        axis.
     topology:
         ``"mesh"`` (the paper's platform) or ``"torus"`` (extension: adds
         wraparound links; dimension-ordered routing then has cyclic channel
         dependencies across the wrap links, so pair it with
         ``deadlock_recovery_enabled`` — the recovery scheme substitutes for
-        dateline VC classes).
+        dateline VC classes).  ``"mesh3d"``/``"torus3d"`` name the same
+        structures with a required 3-axis shape.
+    link_latency:
+        Cycles per link traversal: an int applies uniformly, a per-axis
+        tuple models slower vertical TSV hops (e.g. ``(1, 1, 2)``).
     num_vcs:
         Virtual channels per physical channel (paper: 3).
     vc_buffer_depth:
@@ -86,8 +157,7 @@ class NoCConfig:
         buffer copy (without duplicate buffers).
     """
 
-    width: int = 8
-    height: int = 8
+    shape: Tuple[int, ...] = (8, 8)
     topology: str = "mesh"
     num_vcs: int = 3
     vc_buffer_depth: int = 4
@@ -103,17 +173,48 @@ class NoCConfig:
     handshake_tmr: bool = True
     max_nack_retries: int = 8
     flit_width_bits: int = 64
+    link_latency: LatencySpec = 1
+    width: InitVar[Optional[int]] = None
+    height: InitVar[Optional[int]] = None
 
-    def __post_init__(self) -> None:
-        if self.width < 1 or self.height < 1:
+    def __post_init__(
+        self, width: Optional[int] = None, height: Optional[int] = None
+    ) -> None:
+        shape = tuple(int(d) for d in self.shape)
+        if width is not None or height is not None:
+            shape = _deprecated_dims_to_shape(shape, width, height)
+        object.__setattr__(self, "shape", shape)
+        if len(shape) not in (2, 3):
+            raise ValueError(
+                f"only 2D and 3D topologies are supported, got shape {shape}"
+            )
+        if any(d < 1 for d in shape):
             raise ValueError("mesh dimensions must be positive")
-        if self.topology not in ("mesh", "torus"):
-            raise ValueError("topology must be 'mesh' or 'torus'")
-        if self.topology == "torus" and (self.width < 3 or self.height < 3):
+        if self.topology not in ("mesh", "torus", "mesh3d", "torus3d"):
+            raise ValueError(
+                "topology must be 'mesh', 'torus', 'mesh3d' or 'torus3d'"
+            )
+        if self.topology in ("mesh3d", "torus3d") and len(shape) != 3:
+            raise ValueError(
+                f"topology '{self.topology}' needs a 3-axis shape, got {shape}"
+            )
+        if self.is_torus and any(d < 3 for d in shape):
             raise ValueError(
                 "a torus needs at least 3 nodes per dimension (smaller wrap "
                 "rings degenerate into duplicate or self links)"
             )
+        latency = self.link_latency
+        if not isinstance(latency, int):
+            latency = tuple(int(v) for v in latency)
+            object.__setattr__(self, "link_latency", latency)
+            if len(latency) != len(shape):
+                raise ValueError(
+                    f"link_latency needs one entry per axis ({len(shape)}), "
+                    f"got {len(latency)}"
+                )
+        latencies = (latency,) * len(shape) if isinstance(latency, int) else latency
+        if any(v < 1 for v in latencies):
+            raise ValueError("link latencies must be >= 1 cycle")
         if self.num_vcs < 1:
             raise ValueError("need at least one virtual channel")
         if self.vc_buffer_depth < 1:
@@ -124,6 +225,14 @@ class NoCConfig:
             raise ValueError(
                 "the HBH scheme requires a >=3-deep retransmission buffer "
                 "(link + error-check + NACK cycles, Section 3.1)"
+            )
+        required_retx = 2 * max(latencies) + 1
+        if self.retx_buffer_depth < required_retx:
+            raise ValueError(
+                f"link latency {max(latencies)} stretches the HBH NACK "
+                f"round trip: a sent flit must stay replayable for "
+                f"2*latency+1 cycles, so retx_buffer_depth must be >= "
+                f"{required_retx} (got {self.retx_buffer_depth})"
             )
         if self.pipeline_stages not in (1, 2, 3, 4):
             raise ValueError("supported router pipelines are 1-4 stages")
@@ -145,12 +254,40 @@ class NoCConfig:
             )
 
     @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def is_torus(self) -> bool:
+        return self.topology in ("torus", "torus3d")
+
+    @property
+    def shape_text(self) -> str:
+        """The shape in the CLI grammar, e.g. ``"8x8"`` or ``"4x4x4"``."""
+        return "x".join(str(d) for d in self.shape)
+
+    @property
     def num_nodes(self) -> int:
-        return self.width * self.height
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
 
     @property
     def num_ports(self) -> int:
-        return NUM_PORTS
+        """Router ports: two per axis plus LOCAL (5 in 2D, 7 in 3D)."""
+        return 2 * self.ndim + 1
+
+    @property
+    def axis_latencies(self) -> Tuple[int, ...]:
+        """``link_latency`` normalized to one entry per axis."""
+        if isinstance(self.link_latency, int):
+            return (self.link_latency,) * self.ndim
+        return self.link_latency
+
+    @property
+    def max_link_latency(self) -> int:
+        return max(self.axis_latencies)
 
     def replace(self, **changes: object) -> "NoCConfig":
         """Return a copy of this config with the given fields replaced."""
@@ -173,6 +310,30 @@ class NoCConfig:
             transmission_depths=[self.vc_buffer_depth] * n,
             retransmission_depths=[self.retx_buffer_depth] * n,
         )
+
+
+def _finalize_dim_accessors(cls: type) -> None:
+    """Turn the deprecated ``width``/``height`` InitVars into read-only
+    accessors derived from ``shape``.
+
+    The InitVar entries are dropped from ``__dataclass_fields__`` so
+    :func:`dataclasses.replace` never re-feeds them through the
+    constructor (which would re-trigger the deprecation path on every
+    ``config.replace(...)``); reading ``noc.width`` stays supported —
+    only the constructor *kwargs* are deprecated.
+    """
+    fields_map = dict(cls.__dataclass_fields__)
+    fields_map.pop("width", None)
+    fields_map.pop("height", None)
+    cls.__dataclass_fields__ = fields_map  # type: ignore[attr-defined]
+    cls.width = property(lambda self: self.shape[0])  # type: ignore[attr-defined]
+    cls.height = property(lambda self: self.shape[1])  # type: ignore[attr-defined]
+    cls.depth = property(  # type: ignore[attr-defined]
+        lambda self: self.shape[2] if len(self.shape) > 2 else 1
+    )
+
+
+_finalize_dim_accessors(NoCConfig)
 
 
 @dataclass(frozen=True)
@@ -365,8 +526,37 @@ class SimulationConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     checkpoint_interval: Optional[int] = None
     checkpoint_path: Optional[str] = None
+    #: Platform conveniences: ``SimulationConfig(shape=(4, 4, 4),
+    #: topology="mesh3d")`` rewrites the nested ``noc`` block without the
+    #: caller spelling out a NoCConfig.  ``width=``/``height=`` are the
+    #: deprecated 2D aliases.
+    shape: InitVar[Optional[Tuple[int, ...]]] = None
+    topology: InitVar[Optional[str]] = None
+    link_latency: InitVar[Optional[LatencySpec]] = None
+    width: InitVar[Optional[int]] = None
+    height: InitVar[Optional[int]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(
+        self,
+        shape: Optional[Tuple[int, ...]] = None,
+        topology: Optional[str] = None,
+        link_latency: Optional[LatencySpec] = None,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
+    ) -> None:
+        if width is not None or height is not None:
+            shape = _deprecated_dims_to_shape(
+                shape if shape is not None else self.noc.shape, width, height
+            )
+        changes: dict = {}
+        if shape is not None:
+            changes["shape"] = tuple(shape)
+        if topology is not None:
+            changes["topology"] = topology
+        if link_latency is not None:
+            changes["link_latency"] = link_latency
+        if changes:
+            object.__setattr__(self, "noc", self.noc.replace(**changes))
         if self.backend not in ("object", "batched"):
             raise ValueError("backend must be 'object' or 'batched'")
         if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
@@ -378,6 +568,21 @@ class SimulationConfig:
 
     def replace(self, **changes: object) -> "SimulationConfig":
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
+def _drop_initvars(cls: type, *names: str) -> None:
+    """Remove convenience InitVars from ``__dataclass_fields__`` so
+    :func:`dataclasses.replace` does not re-feed them (they are pure
+    constructor sugar; ``replace`` operates on the stored ``noc`` block)."""
+    fields_map = dict(cls.__dataclass_fields__)
+    for name in names:
+        fields_map.pop(name, None)
+    cls.__dataclass_fields__ = fields_map  # type: ignore[attr-defined]
+
+
+_drop_initvars(
+    SimulationConfig, "shape", "topology", "link_latency", "width", "height"
+)
 
 
 #: Paper's published synthesis results for the generic 5-port router with 4

@@ -61,8 +61,7 @@ def _build_network(
     threshold: int = 10,
 ) -> Network:
     noc = NoCConfig(
-        width=2,
-        height=2,
+        shape=(2, 2),
         num_vcs=1,
         vc_buffer_depth=vc_buffer_depth,
         flits_per_packet=flits_per_packet,

@@ -37,7 +37,15 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.config import FaultConfig, NoCConfig, SimulationConfig, WorkloadConfig
+from repro.config import (
+    FaultConfig,
+    LatencySpec,
+    NoCConfig,
+    SimulationConfig,
+    WorkloadConfig,
+    parse_link_latency,
+    parse_shape,
+)
 from repro.faults.intermittent import (
     IntermittentFault,
     IntermittentFaultSchedule,
@@ -47,7 +55,7 @@ from repro.faults.permanent import PermanentFault, PermanentFaultSchedule
 from repro.noc.routing import FaultAwareRouting
 from repro.noc.simulator import Simulator
 from repro.noc.topology import MeshTopology
-from repro.types import Direction, RoutingAlgorithm
+from repro.types import Coordinate, Direction, RoutingAlgorithm
 
 
 @dataclass(frozen=True)
@@ -66,9 +74,18 @@ class DegradationPoint:
     hit_cycle_limit: bool
 
 
-def mesh_links(width: int, height: int) -> List[Tuple[int, Direction]]:
-    """Every unidirectional inter-router link of a ``width x height`` mesh."""
-    topology = MeshTopology(width, height)
+def mesh_links(
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+    *,
+    shape: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, Direction]]:
+    """Every unidirectional inter-router link of a mesh (any dimension)."""
+    topology = (
+        MeshTopology(shape=tuple(shape))
+        if shape is not None
+        else MeshTopology(width, height)
+    )
     return [
         (node, direction)
         for node in topology.nodes()
@@ -77,17 +94,47 @@ def mesh_links(width: int, height: int) -> List[Tuple[int, Direction]]:
     ]
 
 
+def pillar_groups(shape: Sequence[int]) -> List[List[Tuple[int, Direction]]]:
+    """The vertical (TSV) links of a 3D mesh, grouped by pillar.
+
+    One group per ``(x, y)`` column, containing every UP and DOWN link at
+    any layer of that column — killing a whole group models a full TSV
+    pillar failure, the characteristic 3D-integration fault unit."""
+    topology = MeshTopology(shape=tuple(shape))
+    if topology.ndim != 3:
+        raise ValueError("pillar kills need a 3-axis shape")
+    w, h, d = topology.shape
+    groups: List[List[Tuple[int, Direction]]] = []
+    for y in range(h):
+        for x in range(w):
+            group = [
+                (node, direction)
+                for z in range(d)
+                for node in (topology.node_at(Coordinate(x, y, z)),)
+                for direction in (Direction.UP, Direction.DOWN)
+                if direction in topology.connected_directions(node)
+            ]
+            groups.append(group)
+    return groups
+
+
 def _schedule_for_level(
-    kill_order: List[Tuple[int, Direction]], kills: int, late_cycle: int
+    kill_order: List[List[Tuple[int, Direction]]], kills: int, late_cycle: int
 ) -> PermanentFaultSchedule:
-    """Levels kill a prefix of ``kill_order``; the last death is mid-run."""
+    """Levels kill a prefix of ``kill_order``; the last death is mid-run.
+
+    Each entry is a *group* of links that die together (a single link in
+    the classic campaign, a whole TSV pillar under ``kill_pillars``)."""
     faults = [
         PermanentFault("link", node, direction)
-        for node, direction in kill_order[: max(kills - 1, 0)]
+        for group in kill_order[: max(kills - 1, 0)]
+        for node, direction in group
     ]
     if kills:
-        node, direction = kill_order[kills - 1]
-        faults.append(PermanentFault("link", node, direction, cycle=late_cycle))
+        faults.extend(
+            PermanentFault("link", node, direction, cycle=late_cycle)
+            for node, direction in kill_order[kills - 1]
+        )
     return PermanentFaultSchedule.of(*faults)
 
 
@@ -148,6 +195,9 @@ def run_degradation(
     seed: int = 17,
     invariant_checks: bool = False,
     routing: RoutingAlgorithm = RoutingAlgorithm.FT_TABLE,
+    shape: Optional[Sequence[int]] = None,
+    link_latency: LatencySpec = 1,
+    kill_pillars: bool = False,
 ) -> List[DegradationPoint]:
     """The full campaign: one :class:`DegradationPoint` per kill level.
 
@@ -156,14 +206,31 @@ def run_degradation(
     cannot reroute — their curves show what the faults cost without
     reconfiguration, and ``reachable_fraction`` reports 1.0 since no
     tables exist to consult.
+
+    ``shape`` generalizes the platform beyond ``width x height`` (pass
+    e.g. ``(4, 4, 4)`` or ``"4x4x4"`` for a 3D stack); ``link_latency``
+    slows chosen axes (``(1, 1, 2)`` models 2-cycle TSVs — the
+    retransmission depth is deepened automatically to keep the HBH NACK
+    window sound).  ``kill_pillars`` switches the kill unit from single
+    links to whole TSV pillars: each level severs every vertical link of
+    one more ``(x, y)`` column (3D shapes only).
     """
     if max_kills < 0:
         raise ValueError("max_kills must be non-negative")
-    kill_order = mesh_links(width, height)
+    resolved = parse_shape(shape) if shape is not None else (width, height)
+    latency = parse_link_latency(link_latency)
+    max_latency = latency if isinstance(latency, int) else max(latency)
+    if kill_pillars:
+        kill_order = pillar_groups(resolved)
+        unit = "pillars"
+    else:
+        kill_order = [[link] for link in mesh_links(shape=resolved)]
+        unit = "links"
     random.Random(seed).shuffle(kill_order)
     if max_kills > len(kill_order):
         raise ValueError(
-            f"cannot kill {max_kills} links; the mesh only has {len(kill_order)}"
+            f"cannot kill {max_kills} {unit}; the mesh only has "
+            f"{len(kill_order)}"
         )
     late_cycle = inject_cycles // 2
     points: List[DegradationPoint] = []
@@ -171,7 +238,13 @@ def run_degradation(
     for kills in range(max_kills + 1):
         schedule = _schedule_for_level(kill_order, kills, late_cycle)
         config = SimulationConfig(
-            noc=NoCConfig(width=width, height=height, routing=routing),
+            noc=NoCConfig(
+                shape=resolved,
+                topology="mesh" if len(resolved) == 2 else "mesh3d",
+                routing=routing,
+                link_latency=latency,
+                retx_buffer_depth=max(3, 2 * max_latency + 1),
+            ),
             faults=dataclasses.replace(
                 FaultConfig.fault_free(), permanent=schedule
             ),
@@ -190,9 +263,9 @@ def run_degradation(
         network = sim.network
         stats = network.stats
         injected = stats.packets_injected
-        latency = stats.latency.mean
+        avg_latency = stats.latency.mean
         if healthy_latency is None:
-            healthy_latency = latency
+            healthy_latency = avg_latency
         routing_fn = network.routing_fn
         reachable = (
             routing_fn.reachable_fraction()
@@ -207,9 +280,9 @@ def run_degradation(
                 packets_lost=network.lost,
                 delivery_rate=(network.delivered / injected) if injected else 1.0,
                 reachable_fraction=reachable,
-                avg_latency=latency,
+                avg_latency=avg_latency,
                 latency_inflation=(
-                    latency / healthy_latency if healthy_latency else 1.0
+                    avg_latency / healthy_latency if healthy_latency else 1.0
                 ),
                 reconvergence_cycles=reconvergence,
                 hit_cycle_limit=hit_limit,
@@ -237,11 +310,16 @@ class BurstDegradationPoint:
 
 
 def burst_sites(
-    width: int, height: int, num_sites: int, seed: int
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+    num_sites: int = 6,
+    seed: int = 17,
+    *,
+    shape: Optional[Sequence[int]] = None,
 ) -> List[Tuple[int, Direction]]:
     """The seeded set of links a burst sweep stresses (fixed across cells
     so the sweep varies intensity, not geography)."""
-    links = mesh_links(width, height)
+    links = mesh_links(width, height, shape=shape)
     if num_sites > len(links):
         raise ValueError(
             f"cannot stress {num_sites} sites; the mesh only has {len(links)}"
@@ -264,6 +342,7 @@ def run_burst_degradation(
     seed: int = 17,
     invariant_checks: bool = False,
     routing: RoutingAlgorithm = RoutingAlgorithm.FT_TABLE,
+    shape: Optional[Sequence[int]] = None,
 ) -> List[BurstDegradationPoint]:
     """Sweep burst intensity x wear rate over a fixed set of stressed links.
 
@@ -273,7 +352,8 @@ def run_burst_degradation(
     ``burst_rate == 0`` column is the healthy baseline the latency
     inflation normalizes against.
     """
-    sites = burst_sites(width, height, num_sites, seed)
+    resolved = parse_shape(shape) if shape is not None else (width, height)
+    sites = burst_sites(num_sites=num_sites, seed=seed, shape=resolved)
     points: List[BurstDegradationPoint] = []
     healthy_latency: Optional[float] = None
     for threshold in wear_thresholds:
@@ -290,7 +370,11 @@ def run_burst_degradation(
                 else None
             )
             config = SimulationConfig(
-                noc=NoCConfig(width=width, height=height, routing=routing),
+                noc=NoCConfig(
+                    shape=resolved,
+                    topology="mesh" if len(resolved) == 2 else "mesh3d",
+                    routing=routing,
+                ),
                 faults=dataclasses.replace(
                     FaultConfig.fault_free(seed=seed),
                     intermittent=schedule,

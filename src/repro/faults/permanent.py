@@ -171,7 +171,7 @@ def _parse_direction(name: str, spec: str) -> Direction:
     except KeyError:
         raise ValueError(
             f"bad direction {name!r} in fault spec {spec!r}; "
-            "expected north/east/south/west"
+            "expected north/east/south/west (or up/down on 3D platforms)"
         ) from None
 
 

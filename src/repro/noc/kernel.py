@@ -76,13 +76,17 @@ def kernel_supports(config: Any) -> Optional[str]:
     loop when this returns a reason, so ``backend="batched"`` is always
     safe to request.
     """
+    noc = config.noc
+    if noc.ndim != 2:
+        return "the batched kernel models 2D meshes only"
+    if noc.max_link_latency != 1:
+        return "multi-cycle link latencies are outside the batched domain"
     if any(config.faults.rates.values()):
         return "transient fault rates are nonzero"
     if config.faults.permanent:
         return "a permanent-fault schedule is configured"
     if config.faults.intermittent:
         return "an intermittent/wear-out fault lifecycle is configured"
-    noc = config.noc
     if noc.link_protection is LinkProtection.E2E:
         return "end-to-end protection schedules reverse-path events"
     if noc.routing not in _SUPPORTED_ROUTING:

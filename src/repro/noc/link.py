@@ -1,7 +1,8 @@
 """Inter-router links and their reverse/control channels.
 
 A link is unidirectional (each neighboring router pair has one in each
-direction) and carries, with single-cycle latency each way (Section 2.2):
+direction) and carries, with single-cycle latency each way by default
+(Section 2.2; 3D TSV links may take longer — see ``Link.latency``):
 
 * **forward**: one flit per cycle, tagged with its VC and the per-(link, VC)
   sequence number the HBH rollback protocol uses;
@@ -20,7 +21,7 @@ from __future__ import annotations
 import sys
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Generic, List, Optional, Set, Tuple, TypeVar
+from typing import Deque, Dict, Generic, List, Optional, Set, Tuple, TypeVar
 
 from repro.coding.parity import tmr_vote
 from repro.noc.flit import Flit
@@ -140,10 +141,14 @@ class Link:
     sets* via :meth:`wire_wakes`: sending anything on the forward channels
     (flits, probes) registers the consumer of the link's forward traffic for
     processing next cycle, and sending on the reverse channels (credits,
-    NACKs) registers the consumer of its reverse traffic.  Because every
-    channel here is exactly a 1-cycle delay line, a wake registered at push
-    time lands on precisely the cycle the item becomes due, so nothing is
-    ever consumed early or left lingering.  Standalone links (unit tests)
+    NACKs) registers the consumer of its reverse traffic.  On a 1-cycle
+    link (the historical case, and every planar link) a wake registered at
+    push time lands on precisely the cycle the item becomes due, so
+    nothing is ever consumed early or left lingering.  Slower links (the
+    3D TSV channels) instead append the wake to the scheduler's shared
+    *deferred-wake* map under the item's due cycle; the network applies
+    that bucket at the top of the due cycle's step, restoring the same
+    push-time-equals-due-time property.  Standalone links (unit tests)
     leave the wake sets unwired and behave exactly as before.
     """
 
@@ -153,6 +158,7 @@ class Link:
         "dst_node",
         "dst_port",
         "is_local",
+        "latency",
         "flits",
         "credits",
         "nacks",
@@ -163,6 +169,7 @@ class Link:
         "_fwd_wake_node",
         "_rev_wake_set",
         "_rev_wake_node",
+        "_deferred_wakes",
     )
 
     def __init__(
@@ -172,16 +179,21 @@ class Link:
         dst_node: int,
         dst_port: Direction,
         is_local: bool = False,
+        latency: int = 1,
     ):
+        if latency < 1:
+            raise ValueError("link latency must be at least one cycle")
         self.src_node = src_node
         self.src_port = src_port
         self.dst_node = dst_node
         self.dst_port = dst_port
         self.is_local = is_local
-        self.flits: DelayLine[FlitTransfer] = DelayLine(1)
-        self.credits: DelayLine[CreditSignal] = DelayLine(1)
-        self.nacks: DelayLine[NackSignal] = DelayLine(1)
-        self.control: DelayLine[ProbeSignal] = DelayLine(1)
+        #: Cycles a signal spends on the wire, both directions (TSVs > 1).
+        self.latency = latency
+        self.flits: DelayLine[FlitTransfer] = DelayLine(latency)
+        self.credits: DelayLine[CreditSignal] = DelayLine(latency)
+        self.nacks: DelayLine[NackSignal] = DelayLine(latency)
+        self.control: DelayLine[ProbeSignal] = DelayLine(latency)
         #: Flits sent over the link's lifetime (for utilization/energy).
         self.flit_traversals = 0
         #: Permanently failed: all channels silently drop (see :meth:`kill`).
@@ -190,6 +202,7 @@ class Link:
         self._fwd_wake_node = -1
         self._rev_wake_set: Optional[Set[int]] = None
         self._rev_wake_node = -1
+        self._deferred_wakes: Optional[Dict[int, List[Tuple[Set[int], int]]]] = None
 
     def wire_wakes(
         self,
@@ -197,12 +210,25 @@ class Link:
         fwd_node: int,
         rev_set: Optional[Set[int]],
         rev_node: int,
+        deferred: Optional[Dict[int, List[Tuple[Set[int], int]]]] = None,
     ) -> None:
-        """Attach the scheduler's wake sets (see class docstring)."""
+        """Attach the scheduler's wake sets (see class docstring).
+
+        ``deferred`` is the network's shared due-cycle -> wake-entry map;
+        it is required (and only consulted) when ``latency > 1``.
+        """
         self._fwd_wake_set = fwd_set
         self._fwd_wake_node = fwd_node
         self._rev_wake_set = rev_set
         self._rev_wake_node = rev_node
+        self._deferred_wakes = deferred
+
+    def _defer_wake(self, cycle: int, wake: Set[int], node: int) -> None:
+        """Register ``node`` for the cycle a signal pushed now becomes due
+        (slow links only — 1-cycle links add to the wake set directly)."""
+        deferred = self._deferred_wakes
+        assert deferred is not None, "slow link wired without a deferred map"
+        deferred.setdefault(cycle + self.latency, []).append((wake, node))
 
     # -- forward ----------------------------------------------------------
 
@@ -221,7 +247,10 @@ class Link:
         self.flit_traversals += 1
         wake = self._fwd_wake_set
         if wake is not None:
-            wake.add(self._fwd_wake_node)
+            if self.latency == 1:
+                wake.add(self._fwd_wake_node)
+            else:
+                self._defer_wake(cycle, wake, self._fwd_wake_node)
 
     def flit_arrivals(self, cycle: int) -> List[FlitTransfer]:
         return self.flits.pop_due(cycle)
@@ -232,7 +261,10 @@ class Link:
         self.control.push(cycle, probe)
         wake = self._fwd_wake_set
         if wake is not None:
-            wake.add(self._fwd_wake_node)
+            if self.latency == 1:
+                wake.add(self._fwd_wake_node)
+            else:
+                self._defer_wake(cycle, wake, self._fwd_wake_node)
 
     def probe_arrivals(self, cycle: int) -> List[ProbeSignal]:
         return self.control.pop_due(cycle)
@@ -245,7 +277,10 @@ class Link:
         self.credits.push(cycle, CreditSignal(vc))
         wake = self._rev_wake_set
         if wake is not None:
-            wake.add(self._rev_wake_node)
+            if self.latency == 1:
+                wake.add(self._rev_wake_node)
+            else:
+                self._defer_wake(cycle, wake, self._rev_wake_node)
 
     def credit_arrivals(self, cycle: int) -> List[CreditSignal]:
         return self.credits.pop_due(cycle)
@@ -256,7 +291,10 @@ class Link:
         self.nacks.push(cycle, nack)
         wake = self._rev_wake_set
         if wake is not None:
-            wake.add(self._rev_wake_node)
+            if self.latency == 1:
+                wake.add(self._rev_wake_node)
+            else:
+                self._defer_wake(cycle, wake, self._rev_wake_node)
 
     def nack_arrivals(self, cycle: int) -> List[NackSignal]:
         return self.nacks.pop_due(cycle)

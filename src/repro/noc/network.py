@@ -14,8 +14,9 @@ phase order:
 5. routers run their pipelines, pushing onto links for the next cycle,
 6. utilization is sampled.
 
-Because every channel is a 1-cycle delay line, the order of routers within
-a phase cannot change outcomes.
+Because every channel is a fixed-latency delay line (1 cycle for planar
+links; TSV links in a 3D stack may take longer), the order of routers
+within a phase cannot change outcomes.
 
 Two implementations of the cycle loop exist.  The *full* loop polls every
 component every cycle.  The *activity-driven* loop (the default, selected
@@ -48,7 +49,7 @@ from repro.noc.link import Link
 from repro.noc.packet import Packet, PacketReassembler
 from repro.noc.router import Router
 from repro.noc.routing import FaultAwareRouting, resolve_routing_function
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import MeshTopology, make_topology
 from repro.stats.collectors import StatsCollector
 from repro.telemetry.bus import TelemetryBus
 from repro.types import Corruption, Direction, LinkProtection, RoutingAlgorithm
@@ -302,12 +303,9 @@ class Network:
     def __init__(self, config: SimulationConfig):
         self.config = config
         noc = config.noc
-        if noc.topology == "torus":
-            from repro.noc.topology import TorusTopology
-
-            self.topology: MeshTopology = TorusTopology(noc.width, noc.height)
-        else:
-            self.topology = MeshTopology(noc.width, noc.height)
+        self.topology: MeshTopology = make_topology(
+            noc.topology, noc.shape, noc.link_latency
+        )
         self.stats = StatsCollector()
         #: The shared telemetry bus, or None when telemetry is disabled —
         #: every publish site guards on that None, so a disabled run pays
@@ -357,10 +355,10 @@ class Network:
         #: instance here is rebuilt on each permanent-fault event.
         self.routing_fn = routing_fn
         if (
-            noc.topology == "torus"
+            noc.is_torus
             and noc.routing is RoutingAlgorithm.XY
             and not noc.deadlock_recovery_enabled
-            and max(noc.width, noc.height) >= 4
+            and max(noc.shape) >= 4
         ):
             # NOC008: the wrap links close cyclic channel dependencies that
             # dimension-ordered routing cannot break, and nothing here will
@@ -414,6 +412,11 @@ class Network:
         self._router_rx_pending: Set[int] = set()
         self._ni_tx_active: Set[int] = set()
         self._router_active: Set[int] = set()
+        #: Wake entries from links slower than one cycle, bucketed by the
+        #: cycle the pushed signal becomes due; :meth:`step` applies and
+        #: discards the current cycle's bucket before dispatching.  Always
+        #: empty on all-unit-latency platforms (every historical config).
+        self._deferred_wakes: Dict[int, List[Tuple[Set[int], int]]] = {}
         self._activity_driven = config.activity_driven
 
         self.interfaces: List[NetworkInterface] = [
@@ -497,13 +500,20 @@ class Network:
             for direction in self.topology.connected_directions(node):
                 neighbor = self.topology.neighbor(node, direction)
                 assert neighbor is not None
-                link = Link(node, direction, neighbor, direction.opposite)
+                link = Link(
+                    node,
+                    direction,
+                    neighbor,
+                    direction.opposite,
+                    latency=self.topology.link_latency(node, direction),
+                )
                 # Forward traffic (flits, probes) is consumed by the
                 # neighbor's receive phase; reverse traffic (credits,
                 # NACKs) by this router's.
                 link.wire_wakes(
                     self._router_rx_pending, neighbor,
                     self._router_rx_pending, node,
+                    deferred=self._deferred_wakes,
                 )
                 self.links.append(link)
                 self._link_map[(node, direction)] = link
@@ -837,6 +847,14 @@ class Network:
             self._apply_due_faults()
         if self.lifecycle is not None:
             self._advance_lifecycle()
+        if self._deferred_wakes:
+            # Signals pushed onto slow (multi-cycle) links become due now:
+            # land their consumers in the wake sets before dispatch, exactly
+            # as a 1-cycle link would have done at push time.
+            bucket = self._deferred_wakes.pop(self.cycle, None)
+            if bucket is not None:
+                for wake_set, node in bucket:
+                    wake_set.add(node)
         kernel = self.kernel
         if kernel is not None:
             kernel.step()
@@ -958,17 +976,32 @@ class Network:
                     f"NI {ni.node} has queued packets but is not in the "
                     "injection active set"
                 )
+        def _wake_scheduled(wake_set: Set[int], node: int) -> bool:
+            if node in wake_set:
+                return True
+            # Slow links park their wakes in the deferred buckets until the
+            # pushed signal's due cycle.
+            return any(
+                entry[0] is wake_set and entry[1] == node
+                for bucket in self._deferred_wakes.values()
+                for entry in bucket
+            )
+
         for link in self.links:
             if len(link.flits) or len(link.control):
                 wake_set = link._fwd_wake_set
-                if wake_set is not None and link._fwd_wake_node not in wake_set:
+                if wake_set is not None and not _wake_scheduled(
+                    wake_set, link._fwd_wake_node
+                ):
                     raise AssertionError(
                         f"{link!r} has in-flight forward traffic but its "
                         "consumer is not in the receive wake set"
                     )
             if len(link.credits) or len(link.nacks):
                 wake_set = link._rev_wake_set
-                if wake_set is not None and link._rev_wake_node not in wake_set:
+                if wake_set is not None and not _wake_scheduled(
+                    wake_set, link._rev_wake_node
+                ):
                     raise AssertionError(
                         f"{link!r} has in-flight reverse traffic but its "
                         "consumer is not in the receive wake set"
@@ -1029,7 +1062,8 @@ class Network:
         return buffered + on_links + pending_out
 
     def __repr__(self) -> str:
+        shape = "x".join(str(d) for d in self.topology.shape)
         return (
-            f"Network({self.topology.width}x{self.topology.height}, "
+            f"Network({shape}, "
             f"cycle={self.cycle}, delivered={self.delivered})"
         )

@@ -24,7 +24,7 @@ from typing import Any, Dict, Iterable, List, Optional, Protocol, Set, Tuple
 
 from repro.noc.flit import Flit
 from repro.noc.topology import MeshTopology, PortGraph
-from repro.types import Direction, RoutingAlgorithm
+from repro.types import AXIS_DIRECTIONS, Direction, RoutingAlgorithm
 
 
 class RoutingFunction(Protocol):
@@ -61,7 +61,9 @@ class RoutingFunction(Protocol):
 
 
 class XYRouting:
-    """Dimension-ordered routing: correct X first, then Y (deterministic)."""
+    """Dimension-ordered routing (DOR): correct the lowest uncorrected axis
+    first — X, then Y, then Z (deterministic).  Deadlock-free on meshes of
+    any dimension; the 2D case is the paper's XY."""
 
     cacheable = True
 
@@ -72,22 +74,28 @@ class XYRouting:
             return [Direction.LOCAL]
         a = topology.coordinates_of(current)
         b = topology.coordinates_of(flit.dst)
-        if b.x > a.x:
-            return [Direction.EAST]
-        if b.x < a.x:
-            return [Direction.WEST]
-        if b.y > a.y:
-            return [Direction.NORTH]
-        return [Direction.SOUTH]
+        for axis in range(topology.ndim):
+            positive, negative = AXIS_DIRECTIONS[axis]
+            if b[axis] > a[axis]:
+                return [positive]
+            if b[axis] < a[axis]:
+                return [negative]
+        return [Direction.LOCAL]  # unreachable: current != dst
+
+    # Backward-compatible alias: the class predates the generalization.
+
+
+DimensionOrderedRouting = XYRouting
 
 
 class TorusXYRouting:
-    """Wrap-aware dimension-ordered routing for tori.
+    """Wrap-aware dimension-ordered routing for tori (any dimension).
 
-    Routes the X dimension first using the minimal wrap direction, then Y.
-    Unlike mesh XY this is *not* deadlock-free: the wraparound links close
-    cyclic channel dependencies, which is exactly why torus networks use
-    dateline VC classes — or, here, the paper's deadlock recovery scheme.
+    Routes the lowest uncorrected axis first using the minimal wrap
+    direction (positive preferred on a tie).  Unlike mesh DOR this is
+    *not* deadlock-free: the wraparound links close cyclic channel
+    dependencies, which is exactly why torus networks use dateline VC
+    classes — or, here, the paper's deadlock recovery scheme.
     """
 
     cacheable = True
@@ -98,21 +106,31 @@ class TorusXYRouting:
         if current == flit.dst:
             return [Direction.LOCAL]
         minimal = topology.minimal_directions(current, flit.dst)
-        for d in (Direction.EAST, Direction.WEST):
-            if d in minimal:
-                return [d]
-        for d in (Direction.NORTH, Direction.SOUTH):
-            if d in minimal:
-                return [d]
+        for axis in range(topology.ndim):
+            positive, negative = AXIS_DIRECTIONS[axis]
+            if positive in minimal:
+                return [positive]
+            if negative in minimal:
+                return [negative]
         return [Direction.LOCAL]  # unreachable for a valid destination
 
 
 class WestFirstRouting:
     """Minimal adaptive west-first turn-model routing (deadlock-free).
 
-    If the destination lies to the west, the packet must travel west first
-    (no turns into west are ever allowed); otherwise any minimal direction
-    among {E, N, S} may be chosen adaptively.
+    2D (the paper's AD): if the destination lies to the west, the packet
+    must travel west first (no turns into west are ever allowed);
+    otherwise any minimal direction among {E, N, S} may be chosen
+    adaptively.
+
+    3D: plain west-first is *not* deadlock-free (the Y/Z plane retains all
+    its turns, so N/S/UP/DOWN channels can close a cycle), so the 3D form
+    is the negative-first turn model — all negative-axis movement (W, S,
+    DOWN) happens first, adaptively; afterwards the packet moves only in
+    positive directions, and no positive->negative turn ever occurs.
+    Negative channels strictly decrease ``x+y+z`` and positive ones
+    strictly increase it, so any dependency cycle would need the
+    forbidden turn class; the CDG verifier certifies both forms.
     """
 
     cacheable = True
@@ -123,9 +141,12 @@ class WestFirstRouting:
         if current == flit.dst:
             return [Direction.LOCAL]
         minimal = topology.minimal_directions(current, flit.dst)
-        if Direction.WEST in minimal:
-            return [Direction.WEST]
-        return minimal
+        if topology.ndim == 2:
+            if Direction.WEST in minimal:
+                return [Direction.WEST]
+            return minimal
+        negatives = [d for d in minimal if d.sign < 0]
+        return negatives if negatives else minimal
 
 
 class FullyAdaptiveRouting:
@@ -474,10 +495,12 @@ def xy_arrival_is_legal(
     # Reversal: the packet would have to exit through the port it came in.
     if arrival_port in minimal:
         return False
-    # Y-then-X: arrived travelling vertically but still needs X correction.
-    if arrival_port in (Direction.NORTH, Direction.SOUTH):
-        a = topology.coordinates_of(current)
-        b = topology.coordinates_of(dst)
-        if a.x != b.x:
+    # Out-of-order axes: arriving on axis k means the packet last moved
+    # along axis k, so under DOR every lower axis must be corrected (the
+    # 2D case is the classic "no X movement needed after travelling Y").
+    a = topology.coordinates_of(current)
+    b = topology.coordinates_of(dst)
+    for axis in range(arrival_port.axis):
+        if a[axis] != b[axis]:
             return False
     return True

@@ -2,11 +2,16 @@
 
 The paper evaluates an 8x8 MESH (Section 2.2); the torus is provided as the
 natural extension (the tornado traffic pattern of [19] originates there) and
-for ablation studies.
+for ablation studies.  Both generalize to N dimensions via ``shape=``:
+``MeshTopology(shape=(4, 4, 4))`` is a 3D mesh whose vertical (TSV)
+channels use the :attr:`~repro.types.Direction.UP`/``DOWN`` ports, and
+:class:`Mesh3D`/:class:`Torus3D` are the ready-made 3D instantiations with
+slower vertical links (docs/TOPOLOGY.md).
 
 A topology answers purely structural questions: node-id/coordinate mapping,
-which ports are connected, and who the neighbor on a port is.  It owns no
-simulation state.
+which ports are connected, who the neighbor on a port is, and how many
+cycles a hop through a port takes (:meth:`MeshTopology.link_latency`).  It
+owns no simulation state.
 
 The static-analysis layer (channel-dependency graphs, the routing
 certification engine) does not need coordinates at all — only the
@@ -29,10 +34,15 @@ from typing import (
     Mapping,
     Optional,
     Protocol,
+    Sequence,
+    Tuple,
+    Union,
     runtime_checkable,
 )
 
-from repro.types import Coordinate, Direction
+from repro.types import AXIS_DIRECTIONS, Coordinate, Direction
+
+LatencySpec = Union[int, Sequence[int]]
 
 
 @runtime_checkable
@@ -45,6 +55,10 @@ class PortGraph(Protocol):
     with ``neighbor``: for every channel ``(node, port)`` with a live
     reverse channel, ``neighbor(neighbor(node, port), arrival_port(node,
     port)) == node``.
+
+    Implementations may additionally expose ``link_latency(node, port) ->
+    int`` (cycles per hop through that port); consumers treat a missing
+    method as uniform 1-cycle links.
     """
 
     @property
@@ -59,60 +73,152 @@ class PortGraph(Protocol):
     def arrival_port(self, node: Any, port: Any) -> Optional[Any]: ...
 
 
-class MeshTopology:
-    """A ``width`` x ``height`` 2-D mesh.
+def _normalize_shape(
+    width: Optional[int],
+    height: Optional[int],
+    shape: Optional[Sequence[int]],
+) -> Tuple[int, ...]:
+    if shape is not None:
+        if width is not None or height is not None:
+            raise ValueError("pass either shape= or width/height, not both")
+        dims = tuple(int(d) for d in shape)
+    else:
+        if width is None or height is None:
+            raise ValueError("a mesh needs width and height (or shape=)")
+        dims = (int(width), int(height))
+    if len(dims) not in (2, 3):
+        raise ValueError(
+            f"only 2D and 3D topologies are supported, got shape {dims}"
+        )
+    if any(d < 1 for d in dims):
+        raise ValueError("mesh dimensions must be positive")
+    return dims
 
-    Node ids are row-major: ``node = y * width + x``; x grows EAST and y
-    grows NORTH, matching :attr:`repro.types.Direction.delta`.
+
+def _normalize_latency(spec: LatencySpec, ndim: int) -> Tuple[int, ...]:
+    if isinstance(spec, int):
+        latencies: Tuple[int, ...] = (spec,) * ndim
+    else:
+        latencies = tuple(int(v) for v in spec)
+        if len(latencies) != ndim:
+            raise ValueError(
+                f"link_latency needs one entry per axis ({ndim}), got "
+                f"{len(latencies)}"
+            )
+    if any(v < 1 for v in latencies):
+        raise ValueError("link latencies must be >= 1 cycle")
+    return latencies
+
+
+class MeshTopology:
+    """A ``width`` x ``height`` (x ``depth``) mesh.
+
+    Node ids are row-major with x fastest: ``node = x + width * (y +
+    height * z)``; x grows EAST, y grows NORTH and z grows UP, matching
+    :attr:`repro.types.Direction.delta`.  2D meshes keep the historical
+    ``node = y * width + x`` mapping bit-for-bit.
+
+    ``link_latency`` is cycles per hop, either uniform (int) or per axis
+    (tuple) — the TSV model makes vertical hops slower than planar ones.
     """
 
-    def __init__(self, width: int, height: int):
-        if width < 1 or height < 1:
-            raise ValueError("mesh dimensions must be positive")
-        self.width = width
-        self.height = height
+    def __init__(
+        self,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
+        *,
+        shape: Optional[Sequence[int]] = None,
+        link_latency: LatencySpec = 1,
+    ):
+        self.shape = _normalize_shape(width, height, shape)
+        self.axis_latency = _normalize_latency(link_latency, self.ndim)
+        dirs: Tuple[Direction, ...] = (
+            Direction.NORTH,
+            Direction.EAST,
+            Direction.SOUTH,
+            Direction.WEST,
+        )
+        if self.ndim == 3:
+            dirs += (Direction.UP, Direction.DOWN)
+        self._directions = dirs
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def width(self) -> int:
+        return self.shape[0]
+
+    @property
+    def height(self) -> int:
+        return self.shape[1]
+
+    @property
+    def depth(self) -> int:
+        """Extent of the z axis (1 for 2D meshes)."""
+        return self.shape[2] if self.ndim > 2 else 1
 
     @property
     def num_nodes(self) -> int:
-        return self.width * self.height
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def num_ports(self) -> int:
+        """Router ports: two per axis plus LOCAL (5 in 2D, 7 in 3D)."""
+        return 2 * self.ndim + 1
+
+    @property
+    def directions(self) -> Tuple[Direction, ...]:
+        """The inter-router directions this topology wires, in canonical
+        (port-index) order."""
+        return self._directions
 
     def coordinates_of(self, node: int) -> Coordinate:
         self._check_node(node)
-        return Coordinate(node % self.width, node // self.width)
+        coords = []
+        for extent in self.shape:
+            coords.append(node % extent)
+            node //= extent
+        return Coordinate(*coords)
 
     def node_at(self, coord: Coordinate) -> int:
         if not self.contains(coord):
-            raise ValueError(f"{coord} outside {self.width}x{self.height} mesh")
-        return coord.y * self.width + coord.x
+            raise ValueError(f"{tuple(coord)} outside {self!r}")
+        node = 0
+        for axis in reversed(range(self.ndim)):
+            node = node * self.shape[axis] + coord[axis]
+        return node
 
-    def contains(self, coord: Coordinate) -> bool:
-        return 0 <= coord.x < self.width and 0 <= coord.y < self.height
+    def contains(self, coord: Sequence[int]) -> bool:
+        if len(coord) > self.ndim and any(c != 0 for c in coord[self.ndim:]):
+            return False
+        return all(
+            0 <= (coord[axis] if axis < len(coord) else 0) < self.shape[axis]
+            for axis in range(self.ndim)
+        )
 
     def neighbor(self, node: int, direction: Direction) -> Optional[int]:
         """Neighbor node on ``direction``, or None at a mesh edge.
 
-        LOCAL has no neighbor router (it connects to the PE).
+        LOCAL has no neighbor router (it connects to the PE), and axes the
+        topology does not have (UP/DOWN on a 2D mesh) have no neighbor.
         """
-        if direction is Direction.LOCAL:
+        if direction is Direction.LOCAL or direction.axis >= self.ndim:
             return None
         coord = self.coordinates_of(node) + direction.delta
         return self.node_at(coord) if self.contains(coord) else None
 
     def connected_directions(self, node: int) -> List[Direction]:
         """Inter-router directions that have a link at ``node``."""
-        return [
-            d
-            for d in (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
-            if self.neighbor(node, d) is not None
-        ]
+        return [d for d in self._directions if self.neighbor(node, d) is not None]
 
     def edge_directions(self, node: int) -> List[Direction]:
         """Directions that fall off the mesh at ``node`` (no link)."""
-        return [
-            d
-            for d in (Direction.NORTH, Direction.EAST, Direction.SOUTH, Direction.WEST)
-            if self.neighbor(node, d) is None
-        ]
+        return [d for d in self._directions if self.neighbor(node, d) is None]
 
     def arrival_port(self, node: int, direction: Direction) -> Optional[Direction]:
         """The port a flit sent from ``node`` via ``direction`` arrives on
@@ -122,6 +228,17 @@ class MeshTopology:
             return None
         return direction.opposite
 
+    def link_latency(self, node: int, direction: Direction) -> int:
+        """Cycles one flit spends traversing the ``(node, direction)``
+        link (1 everywhere historically; vertical TSV hops may be slower)."""
+        if direction is Direction.LOCAL:
+            return 1
+        return self.axis_latency[direction.axis]
+
+    @property
+    def max_link_latency(self) -> int:
+        return max(self.axis_latency)
+
     def distance(self, a: int, b: int) -> int:
         """Minimal hop count between two nodes."""
         return self.coordinates_of(a).manhattan_distance(self.coordinates_of(b))
@@ -130,20 +247,19 @@ class MeshTopology:
         return iter(range(self.num_nodes))
 
     def minimal_directions(self, src: int, dst: int) -> List[Direction]:
-        """All directions that reduce the distance to ``dst`` from ``src``."""
+        """All directions that reduce the distance to ``dst`` from ``src``,
+        in axis order (E/W, then N/S, then UP/DOWN)."""
         if src == dst:
             return []
         a = self.coordinates_of(src)
         b = self.coordinates_of(dst)
         dirs = []
-        if b.x > a.x:
-            dirs.append(Direction.EAST)
-        elif b.x < a.x:
-            dirs.append(Direction.WEST)
-        if b.y > a.y:
-            dirs.append(Direction.NORTH)
-        elif b.y < a.y:
-            dirs.append(Direction.SOUTH)
+        for axis in range(self.ndim):
+            positive, negative = AXIS_DIRECTIONS[axis]
+            if b[axis] > a[axis]:
+                dirs.append(positive)
+            elif b[axis] < a[axis]:
+                dirs.append(negative)
         return dirs
 
     def average_minimal_hops(self) -> float:
@@ -165,24 +281,29 @@ class MeshTopology:
             raise ValueError(f"node {node} outside 0..{self.num_nodes - 1}")
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}({self.width}x{self.height})"
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{type(self).__name__}({dims})"
 
 
 class TorusTopology(MeshTopology):
-    """A 2-D torus: the mesh with wraparound links."""
+    """A torus: the mesh with wraparound links on every axis."""
 
     def neighbor(self, node: int, direction: Direction) -> Optional[int]:
-        if direction is Direction.LOCAL:
+        if direction is Direction.LOCAL or direction.axis >= self.ndim:
             return None
         coord = self.coordinates_of(node) + direction.delta
-        wrapped = Coordinate(coord.x % self.width, coord.y % self.height)
+        wrapped = Coordinate(
+            *(coord[axis] % self.shape[axis] for axis in range(self.ndim))
+        )
         return self.node_at(wrapped)
 
     def distance(self, a: int, b: int) -> int:
         ca, cb = self.coordinates_of(a), self.coordinates_of(b)
-        dx = abs(ca.x - cb.x)
-        dy = abs(ca.y - cb.y)
-        return min(dx, self.width - dx) + min(dy, self.height - dy)
+        total = 0
+        for axis in range(self.ndim):
+            d = abs(ca[axis] - cb[axis])
+            total += min(d, self.shape[axis] - d)
+        return total
 
     def minimal_directions(self, src: int, dst: int) -> List[Direction]:
         if src == dst:
@@ -190,19 +311,62 @@ class TorusTopology(MeshTopology):
         a = self.coordinates_of(src)
         b = self.coordinates_of(dst)
         dirs = []
-        dx = (b.x - a.x) % self.width
-        if dx:
-            if dx <= self.width - dx:
-                dirs.append(Direction.EAST)
-            if dx >= self.width - dx:
-                dirs.append(Direction.WEST)
-        dy = (b.y - a.y) % self.height
-        if dy:
-            if dy <= self.height - dy:
-                dirs.append(Direction.NORTH)
-            if dy >= self.height - dy:
-                dirs.append(Direction.SOUTH)
+        for axis in range(self.ndim):
+            positive, negative = AXIS_DIRECTIONS[axis]
+            d = (b[axis] - a[axis]) % self.shape[axis]
+            if d:
+                if d <= self.shape[axis] - d:
+                    dirs.append(positive)
+                if d >= self.shape[axis] - d:
+                    dirs.append(negative)
         return dirs
+
+
+#: Default per-axis hop latency of the shipped 3D topologies: planar links
+#: stay 1-cycle, vertical TSV hops cost 2 (the ``--vlink-slowdown`` model).
+DEFAULT_TSV_LATENCY: Tuple[int, int, int] = (1, 1, 2)
+
+
+class Mesh3D(MeshTopology):
+    """A ``width x height x depth`` 3D mesh with TSV vertical links."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        depth: int,
+        *,
+        link_latency: LatencySpec = DEFAULT_TSV_LATENCY,
+    ):
+        super().__init__(shape=(width, height, depth), link_latency=link_latency)
+
+
+class Torus3D(TorusTopology):
+    """A ``width x height x depth`` 3D torus with TSV vertical links."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        depth: int,
+        *,
+        link_latency: LatencySpec = DEFAULT_TSV_LATENCY,
+    ):
+        super().__init__(shape=(width, height, depth), link_latency=link_latency)
+
+
+def make_topology(
+    name: str,
+    shape: Sequence[int],
+    link_latency: LatencySpec = 1,
+) -> MeshTopology:
+    """Build the topology a config names (shared by the network, the
+    linter and the certification engine so they can never disagree)."""
+    if name in ("torus", "torus3d"):
+        return TorusTopology(shape=shape, link_latency=link_latency)
+    if name in ("mesh", "mesh3d"):
+        return MeshTopology(shape=shape, link_latency=link_latency)
+    raise ValueError(f"unknown topology {name!r}")
 
 
 class GraphTopology:
@@ -238,6 +402,8 @@ class GraphTopology:
                 self._arrival.setdefault(node, {})[port] = (
                     back[0] if back else None
                 )
+        #: source -> {reachable node -> hops}, filled one BFS per source.
+        self._distance_cache: Dict[Any, Dict[Any, int]] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -255,23 +421,28 @@ class GraphTopology:
     def arrival_port(self, node: Any, port: Any) -> Optional[Any]:
         return self._arrival.get(node, {}).get(port)
 
+    def link_latency(self, node: Any, port: Any) -> int:
+        return 1
+
     def distance(self, a: Any, b: Any) -> int:
         """Minimal hop count ``a -> b`` over directed channels (-1 when
-        unreachable)."""
-        if a == b:
-            return 0
-        dist = {a: 0}
-        frontier = deque([a])
-        while frontier:
-            node = frontier.popleft()
-            for port in self._ports[node]:
-                neighbor = self._ports[node][port]
-                if neighbor not in dist:
-                    dist[neighbor] = dist[node] + 1
-                    if neighbor == b:
-                        return dist[neighbor]
-                    frontier.append(neighbor)
-        return -1
+        unreachable).  Memoized: the first query from ``a`` runs one full
+        BFS and caches every distance from ``a``, so table-routing
+        construction over all pairs costs one BFS per source instead of
+        one per query."""
+        dist = self._distance_cache.get(a)
+        if dist is None:
+            dist = {a: 0}
+            frontier = deque([a])
+            while frontier:
+                node = frontier.popleft()
+                for port in self._ports[node]:
+                    neighbor = self._ports[node][port]
+                    if neighbor not in dist:
+                        dist[neighbor] = dist[node] + 1
+                        frontier.append(neighbor)
+            self._distance_cache[a] = dist
+        return dist.get(b, -1)
 
     def __repr__(self) -> str:
         num_channels = sum(len(p) for p in self._ports.values())

@@ -27,10 +27,26 @@ from repro.types import FaultSite, LinkProtection, RoutingAlgorithm
 
 
 def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
-    """A JSON-safe dict capturing every field of a simulation config."""
+    """A JSON-safe dict capturing every field of a simulation config.
+
+    The topology block is normalized: plain 2D platforms with 1-cycle
+    links keep the historical ``width``/``height`` keys (so every
+    serialized 2D config — NDJSON headers, checkpoint headers, envelopes
+    — is byte-for-byte what it always was); anything dimension- or
+    latency-generalized carries ``shape`` (and ``link_latency``) instead.
+    """
     noc = dataclasses.asdict(config.noc)
     noc["routing"] = config.noc.routing.value
     noc["link_protection"] = config.noc.link_protection.value
+    shape = noc.pop("shape")
+    latency = noc.pop("link_latency")
+    if len(shape) == 2 and latency == 1:
+        noc["width"], noc["height"] = shape
+    else:
+        noc["shape"] = list(shape)
+        noc["link_latency"] = (
+            latency if isinstance(latency, int) else list(latency)
+        )
     faults = {
         "rates": {site.value: rate for site, rate in config.faults.rates.items()},
         "link_multi_bit_fraction": config.faults.link_multi_bit_fraction,
@@ -64,6 +80,20 @@ def config_from_dict(data: Dict[str, Any]) -> SimulationConfig:
     noc_data = dict(data["noc"])
     noc_data["routing"] = RoutingAlgorithm(noc_data["routing"])
     noc_data["link_protection"] = LinkProtection(noc_data["link_protection"])
+    # Both serialized forms load: legacy ``width``/``height`` and the
+    # generalized ``shape`` (which wins when both appear).  Neither path
+    # goes through the deprecated constructor kwargs.
+    width = noc_data.pop("width", None)
+    height = noc_data.pop("height", None)
+    if "shape" in noc_data:
+        noc_data["shape"] = tuple(noc_data["shape"])
+    elif width is not None or height is not None:
+        noc_data["shape"] = (
+            width if width is not None else 8,
+            height if height is not None else 8,
+        )
+    if isinstance(noc_data.get("link_latency"), list):
+        noc_data["link_latency"] = tuple(noc_data["link_latency"])
     faults_data = data["faults"]
     faults = FaultConfig(
         rates={

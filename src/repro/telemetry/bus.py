@@ -247,6 +247,7 @@ class TelemetryBus:
         return TelemetryReport(
             width=network.topology.width,
             height=network.topology.height,
+            shape=tuple(network.topology.shape),
             metrics_interval=self._interval,
             events=list(self.events),
             dropped_events=self.dropped_events,

@@ -23,6 +23,8 @@ class TelemetryReport:
     width: int
     height: int
     metrics_interval: int
+    #: Full mesh extents; defaults to ``(width, height)`` for 2D reports.
+    shape: Tuple[int, ...] = ()
     events: List["TelemetryEvent"] = field(default_factory=list)
     dropped_events: int = 0
     #: ``(metric, component) -> [(cycle, value), ...]`` (cycle-ordered).
@@ -33,6 +35,15 @@ class TelemetryReport:
     deadlock_snapshots: List[Tuple[int, List["TelemetryEvent"]]] = field(
         default_factory=list
     )
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            self.shape = (self.width, self.height)
+
+    @property
+    def depth(self) -> int:
+        """Number of z layers (1 for 2D reports)."""
+        return self.shape[2] if len(self.shape) > 2 else 1
 
     # -- events -------------------------------------------------------------
 
@@ -71,15 +82,23 @@ class TelemetryReport:
 
     # -- heatmaps -----------------------------------------------------------
 
-    def heatmap(self, metric: str, reduce: str = "mean") -> List[List[float]]:
+    def heatmap(
+        self, metric: str, reduce: str = "mean", layer: int = 0
+    ) -> List[List[float]]:
         """Reduce a metric to one value per node, as a height x width grid.
 
         Component keys are ``"<node>"`` or ``"<node>:<dir>"``; link metrics
         therefore aggregate over a node's outgoing links.  ``reduce`` picks
         the per-series reduction: ``"mean"``, ``"max"`` or ``"last"``.
+        On 3D meshes ``layer`` selects the z slice to render (each call
+        returns one height x width layer).
         """
         if reduce not in ("mean", "max", "last"):
             raise ValueError(f"unknown reduction {reduce!r}")
+        if not 0 <= layer < self.depth:
+            raise ValueError(
+                f"layer {layer} outside the {self.depth}-layer mesh"
+            )
         per_node: Dict[int, List[float]] = {}
         for (m, component), points in self.series.items():
             if m != metric or not points:
@@ -97,8 +116,9 @@ class TelemetryReport:
             per_node.setdefault(int(head), []).append(reduced)
         grid = [[0.0] * self.width for _ in range(self.height)]
         for node, values in per_node.items():
-            row, col = divmod(node, self.width)
-            if 0 <= row < self.height:
+            rest, col = divmod(node, self.width)
+            z, row = divmod(rest, self.height)
+            if z == layer and 0 <= row < self.height:
                 grid[row][col] = sum(values) / len(values)
         return grid
 

@@ -56,12 +56,19 @@ class BitComplementTraffic(TrafficPattern):
     def destination(self, src: int, rng: random.Random) -> Optional[int]:
         topo = self.topology
         c = topo.coordinates_of(src)
-        dst = topo.node_at(Coordinate(topo.width - 1 - c.x, topo.height - 1 - c.y))
+        mirrored = Coordinate(
+            *(extent - 1 - v for extent, v in zip(topo.shape, c))
+        )
+        dst = topo.node_at(mirrored)
         return None if dst == src else dst
 
 
 class TornadoTraffic(TrafficPattern):
-    """Tornado (TN): (x, y) -> ((x + ceil(W/2) - 1) mod W, y) [19]."""
+    """Tornado (TN): (x, ...) -> ((x + ceil(W/2) - 1) mod W, ...) [19].
+
+    The rotation is along the x axis only, whatever the dimension count —
+    the classic adversarial case for dimension-ordered routing.
+    """
 
     name = "tornado"
 
@@ -69,7 +76,8 @@ class TornadoTraffic(TrafficPattern):
         topo = self.topology
         c = topo.coordinates_of(src)
         shift = math.ceil(topo.width / 2) - 1
-        dst = topo.node_at(Coordinate((c.x + shift) % topo.width, c.y))
+        rotated = ((c.x + shift) % topo.width,) + tuple(c)[1:]
+        dst = topo.node_at(Coordinate(rotated))
         return None if dst == src else dst
 
 
@@ -80,6 +88,8 @@ class TransposeTraffic(TrafficPattern):
 
     def __init__(self, topology: MeshTopology):
         super().__init__(topology)
+        if topology.ndim != 2:
+            raise ValueError("transpose traffic is defined on 2D meshes only")
         if topology.width != topology.height:
             raise ValueError("transpose traffic requires a square mesh")
 

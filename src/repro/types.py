@@ -8,15 +8,18 @@ them.
 from __future__ import annotations
 
 import enum
-from typing import NamedTuple
 
 
 class Direction(enum.IntEnum):
-    """Physical channel (port) directions of a 5-port mesh router.
+    """Physical channel (port) directions of a mesh router.
 
     The integer values double as port indices everywhere in the simulator:
     input port arrays, output port arrays, crossbar rows/columns and the
     allocator request matrices are all indexed by ``Direction``.
+
+    2D routers use the historical 5-port layout (NORTH..LOCAL); 3D routers
+    grow to 7 ports by appending the vertical (TSV) channels ``UP``/``DOWN``
+    *after* ``LOCAL``, so every 2D port array keeps its exact layout.
     """
 
     NORTH = 0
@@ -24,6 +27,8 @@ class Direction(enum.IntEnum):
     SOUTH = 2
     WEST = 3
     LOCAL = 4  # the PE-to-router channel
+    UP = 5  # vertical TSV channel, +z
+    DOWN = 6  # vertical TSV channel, -z
 
     @property
     def opposite(self) -> "Direction":
@@ -36,9 +41,20 @@ class Direction(enum.IntEnum):
     def delta(self) -> "Coordinate":
         """Unit coordinate offset of one hop in this direction.
 
-        The mesh uses (x, y) with x growing EAST and y growing NORTH.
+        The mesh uses (x, y[, z]) with x growing EAST, y growing NORTH and
+        z growing UP.
         """
         return _DELTA[self]
+
+    @property
+    def axis(self) -> int:
+        """The coordinate axis this direction moves along (LOCAL raises)."""
+        return _AXIS[self]
+
+    @property
+    def sign(self) -> int:
+        """+1 for the positive-axis direction (E/N/UP), -1 otherwise."""
+        return _SIGN[self]
 
 
 _OPPOSITE = {
@@ -46,22 +62,89 @@ _OPPOSITE = {
     Direction.SOUTH: Direction.NORTH,
     Direction.EAST: Direction.WEST,
     Direction.WEST: Direction.EAST,
+    Direction.UP: Direction.DOWN,
+    Direction.DOWN: Direction.UP,
 }
 
+_AXIS = {
+    Direction.EAST: 0,
+    Direction.WEST: 0,
+    Direction.NORTH: 1,
+    Direction.SOUTH: 1,
+    Direction.UP: 2,
+    Direction.DOWN: 2,
+}
 
-class Coordinate(NamedTuple):
-    """An (x, y) position on the mesh."""
+_SIGN = {
+    Direction.EAST: 1,
+    Direction.WEST: -1,
+    Direction.NORTH: 1,
+    Direction.SOUTH: -1,
+    Direction.UP: 1,
+    Direction.DOWN: -1,
+}
 
-    x: int
-    y: int
+#: positive/negative direction per axis, in axis order (x, y, z).
+AXIS_DIRECTIONS = (
+    (Direction.EAST, Direction.WEST),
+    (Direction.NORTH, Direction.SOUTH),
+    (Direction.UP, Direction.DOWN),
+)
+
+
+class Coordinate(tuple):
+    """An (x, y[, z, ...]) position on the mesh.
+
+    Historically a 2-tuple; now any length.  Still an ordinary tuple for
+    unpacking and comparison, with elementwise ``+`` (shorter operands are
+    zero-extended so 2D deltas compose with 3D positions).
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, *coords: int) -> "Coordinate":
+        if len(coords) == 1 and isinstance(coords[0], (tuple, list)):
+            coords = tuple(coords[0])
+        return super().__new__(cls, coords)
+
+    @property
+    def x(self) -> int:
+        return self[0]
+
+    @property
+    def y(self) -> int:
+        return self[1]
+
+    @property
+    def z(self) -> int:
+        return self[2] if len(self) > 2 else 0
 
     def __add__(self, other: object) -> "Coordinate":  # type: ignore[override]
         if not isinstance(other, tuple):
             return NotImplemented
-        return Coordinate(self.x + other[0], self.y + other[1])
+        n = max(len(self), len(other))
+        return Coordinate(
+            *(
+                (self[i] if i < len(self) else 0)
+                + (other[i] if i < len(other) else 0)
+                for i in range(n)
+            )
+        )
+
+    __radd__ = __add__
 
     def manhattan_distance(self, other: "Coordinate") -> int:
-        return abs(self.x - other.x) + abs(self.y - other.y)
+        n = max(len(self), len(other))
+        return sum(
+            abs(
+                (self[i] if i < len(self) else 0)
+                - (other[i] if i < len(other) else 0)
+            )
+            for i in range(n)
+        )
+
+    def __repr__(self) -> str:
+        return f"Coordinate{tuple(self)!r}"
 
 
 _DELTA = {
@@ -70,6 +153,8 @@ _DELTA = {
     Direction.EAST: Coordinate(1, 0),
     Direction.WEST: Coordinate(-1, 0),
     Direction.LOCAL: Coordinate(0, 0),
+    Direction.UP: Coordinate(0, 0, 1),
+    Direction.DOWN: Coordinate(0, 0, -1),
 }
 
 

@@ -23,15 +23,23 @@ class TestMeshLinks:
 
 class TestScheduleForLevel:
     def test_level_zero_is_empty(self):
-        order = mesh_links(4, 4)
+        order = [[link] for link in mesh_links(4, 4)]
         assert not _schedule_for_level(order, 0, 500)
 
     def test_last_kill_lands_late(self):
-        order = mesh_links(4, 4)
+        order = [[link] for link in mesh_links(4, 4)]
         schedule = _schedule_for_level(order, 3, late_cycle=500)
         cycles = [f.cycle for f in schedule.sorted_by_cycle()]
         assert cycles == [0, 0, 500]
         assert all(f.kind == "link" for f in schedule.sorted_by_cycle())
+
+    def test_group_dies_together(self):
+        # A pillar-style group: every member shares the late cycle.
+        order = [[(0, Direction.UP), (9, Direction.DOWN)],
+                 [(1, Direction.UP), (10, Direction.DOWN)]]
+        schedule = _schedule_for_level(order, 2, late_cycle=400)
+        cycles = [f.cycle for f in schedule.sorted_by_cycle()]
+        assert cycles == [0, 0, 400, 400]
 
 
 class TestRunDegradation:

@@ -116,9 +116,21 @@ class TestSpecGrammar:
     def test_cycle_defaults_to_zero(self):
         assert parse_intermittent_spec("3:north:0.1:8:40").start == 0
 
+    def test_vertical_directions_parse(self):
+        # 3D TSV channels are addressable like any planar direction; the
+        # spec is validated against the platform's topology at network
+        # construction, not here.
+        assert parse_intermittent_spec("12:up:0.4:30:200").direction is Direction.UP
+        assert parse_intermittent_spec("12:down:0.4:30:200").direction is Direction.DOWN
+
     @pytest.mark.parametrize(
         "spec",
-        ["12:east:0.4:30", "12:east:0.4:30:200:9", "12:east:lots:30:200", "12:up:0.4:30:200"],
+        [
+            "12:east:0.4:30",
+            "12:east:0.4:30:200:9",
+            "12:east:lots:30:200",
+            "12:sideways:0.4:30:200",
+        ],
     )
     def test_bad_specs_raise(self, spec):
         with pytest.raises(ValueError):

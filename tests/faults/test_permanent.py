@@ -124,11 +124,17 @@ class TestSpecParsers:
             "vc", 3, Direction.NORTH, vc=1, cycle=250
         )
 
+    def test_vertical_link_spec(self):
+        # TSV pillar faults on 3D platforms; topology membership is checked
+        # when the schedule meets a Network, not by the grammar.
+        assert parse_link_spec("12:up").direction is Direction.UP
+        assert parse_link_spec("12:down@40").direction is Direction.DOWN
+
     @pytest.mark.parametrize(
         "parser, spec",
         [
             (parse_link_spec, "12"),
-            (parse_link_spec, "12:up"),
+            (parse_link_spec, "12:sideways"),
             (parse_link_spec, "12:east@soon"),
             (parse_router_spec, "27@never"),
             (parse_vc_spec, "3:north"),

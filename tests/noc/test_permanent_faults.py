@@ -31,7 +31,7 @@ def config_with(
     **overrides,
 ) -> SimulationConfig:
     config = SimulationConfig(
-        noc=NoCConfig(width=width, height=height, routing=routing),
+        noc=NoCConfig(shape=(width, height), routing=routing),
         faults=dataclasses.replace(FaultConfig.fault_free(), permanent=schedule),
         workload=WorkloadConfig(
             injection_rate=rate,

@@ -123,7 +123,7 @@ class TestPermanentFaultFlags:
 
     def test_bad_dead_link_spec_exits_2(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
-            main(["run", "--dead-link", "5:up"])
+            main(["run", "--dead-link", "5:sideways"])
         assert excinfo.value.code == 2
         assert "fault spec" in capsys.readouterr().err
 
@@ -376,3 +376,52 @@ class TestVerifyCommand:
         rc = main(["verify", str(tmp_path / "nope.json")])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestShapeFlags:
+    def test_shape_flag_parses(self):
+        args = build_parser().parse_args(["run", "--shape", "4x4x4"])
+        assert args.shape == "4x4x4"
+
+    def test_2d_shape_normalizes_to_legacy_keys(self, capsys):
+        import json
+
+        rc = main(
+            ["run", "--shape", "3x3", "--messages", "60", "--warmup", "10",
+             "--json"]
+        )
+        assert rc == 0
+        noc = json.loads(capsys.readouterr().out)["config"]["noc"]
+        assert noc["width"] == 3 and noc["height"] == 3
+        assert "shape" not in noc
+
+    def test_3d_shape_selects_mesh3d(self, capsys):
+        import json
+
+        rc = main(
+            ["run", "--shape", "2x2x2", "--link-latency", "1,1,2",
+             "--retx-depth", "5", "--messages", "60", "--warmup", "10",
+             "--json"]
+        )
+        assert rc == 0
+        noc = json.loads(capsys.readouterr().out)["config"]["noc"]
+        assert noc["shape"] == [2, 2, 2]
+        assert noc["topology"] == "mesh3d"
+        assert noc["link_latency"] == [1, 1, 2]
+        assert "width" not in noc
+
+    def test_bad_shape_grammar_exits_2(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--shape", "4xx4"])
+        assert "shape" in capsys.readouterr().err
+
+    def test_kill_pillars_requires_a_3d_shape(self, capsys):
+        rc = main(["degrade", "--shape", "4x4", "--kill-pillars"])
+        assert rc == 2
+        assert "3-axis" in capsys.readouterr().err
+
+    def test_up_down_fault_specs_need_a_third_axis(self, capsys):
+        rc = main(["run", "--dead-link", "0:up", "--shape", "4x4",
+                   "--messages", "60", "--warmup", "10"])
+        assert rc == 2
+        assert "no such link" in capsys.readouterr().err

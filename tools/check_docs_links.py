@@ -138,11 +138,35 @@ def check_module_coverage() -> List[str]:
     return problems
 
 
+#: Pages the documentation set must always carry (each is the reference
+#: for a subsystem CI gates on); deleting one fails the link check even
+#: though no link would dangle after an index edit.
+REQUIRED_PAGES = [
+    "docs/ARCHITECTURE.md",
+    "docs/PERFORMANCE.md",
+    "docs/KERNEL.md",
+    "docs/OBSERVABILITY.md",
+    "docs/CHECKPOINTING.md",
+    "docs/VERIFICATION.md",
+    "docs/FAULTS.md",
+    "docs/TOPOLOGY.md",
+]
+
+
+def check_required_pages() -> List[str]:
+    return [
+        f"required documentation page {page} is missing"
+        for page in REQUIRED_PAGES
+        if not (REPO_ROOT / page).exists()
+    ]
+
+
 def check_all() -> List[str]:
     problems = []
     for path in doc_files():
         problems.extend(check_file(path))
     problems.extend(check_module_coverage())
+    problems.extend(check_required_pages())
     return problems
 
 

@@ -28,6 +28,9 @@ measured numbers:
 * **rerouting must matter** — ft_table's deepest-level delivery must
   beat west_first's by at least ``--min-reroute-gain`` (the reason the
   fault-aware machinery exists);
+* **pillar kills** — on the 3D stack, delivery with every TSV pillar of
+  ``--kills`` columns severed must stay at least ``--min-pillar-delivery``
+  (and 100% on the healthy stack), with every drain finishing;
 * **burst storm** — under the stormy cell (strike rate
   ``--burst-rate``, wear threshold ``--wear-threshold``) delivery must
   stay at least ``--min-burst-delivery``, the wear-out lifecycle must
@@ -99,6 +102,18 @@ SCENARIO = {
         "drain_cycles": 15_000,
         "seed": 2006,
     },
+    # Whole-pillar TSV failures on the 3D stack: each kill level severs
+    # every vertical link of one more (x, y) column, the characteristic
+    # 3D-integration fault unit, under 2-cycle TSV link latency.
+    "pillar": {
+        "shape": [3, 3, 3],
+        "link_latency": [1, 1, 2],
+        "kills": 3,
+        "injection_rate": 0.08,
+        "inject_cycles": 800,
+        "drain_cycles": 15_000,
+        "seed": 2006,
+    },
 }
 
 ROUTINGS = (RoutingAlgorithm.FT_TABLE, RoutingAlgorithm.WEST_FIRST)
@@ -156,6 +171,34 @@ def measure() -> dict:
             file=sys.stderr,
         )
 
+    pillar_cfg = scenario["pillar"]
+    pillar_points = run_degradation(
+        max_kills=pillar_cfg["kills"],
+        injection_rate=pillar_cfg["injection_rate"],
+        inject_cycles=pillar_cfg["inject_cycles"],
+        drain_cycles=pillar_cfg["drain_cycles"],
+        seed=pillar_cfg["seed"],
+        routing=RoutingAlgorithm.FT_TABLE,
+        shape=tuple(pillar_cfg["shape"]),
+        link_latency=tuple(pillar_cfg["link_latency"]),
+        kill_pillars=True,
+    )
+    pillar_rows = []
+    for p in pillar_points:
+        row = dataclasses.asdict(p)
+        for key in ("delivery_rate", "reachable_fraction",
+                    "avg_latency", "latency_inflation"):
+            row[key] = _round(row[key])
+        pillar_rows.append(row)
+    worst_pillar = pillar_rows[-1]
+    print(
+        f"{'pillar':>12}: delivery {pillar_rows[0]['delivery_rate']:.3f}"
+        f" -> {worst_pillar['delivery_rate']:.3f} over"
+        f" {pillar_cfg['kills']} TSV-pillar kills,"
+        f" inflation {worst_pillar['latency_inflation']:.2f}x",
+        file=sys.stderr,
+    )
+
     burst_cfg = scenario["burst"]
     burst_points = run_burst_degradation(
         width=burst_cfg["width"],
@@ -185,7 +228,11 @@ def measure() -> dict:
             f" escalated {row['escalations']}",
             file=sys.stderr,
         )
-    return {"degradation": degradation, "burst": burst_rows}
+    return {
+        "degradation": degradation,
+        "pillar": pillar_rows,
+        "burst": burst_rows,
+    }
 
 
 def _burst_cell(rows: list, rate: float, threshold) -> dict:
@@ -204,6 +251,7 @@ def check_floors(
     min_burst_delivery: float,
     burst_rate: float,
     wear_threshold: float,
+    min_pillar_delivery: float,
 ) -> list:
     failures = []
     ft = results["degradation"]["ft_table"]
@@ -248,6 +296,26 @@ def check_floors(
             f"{min_reroute_gain:.2f} floor — the reroute machinery is not "
             "earning its keep"
         )
+
+    pillar = results["pillar"]
+    if pillar[0]["delivery_rate"] < 1.0:
+        failures.append(
+            f"healthy 3D stack delivered only "
+            f"{pillar[0]['delivery_rate']:.3f} of injected packets"
+        )
+    worst_pillar = pillar[-1]
+    if worst_pillar["delivery_rate"] < min_pillar_delivery:
+        failures.append(
+            f"pillar-kill delivery {worst_pillar['delivery_rate']:.3f} with "
+            f"{worst_pillar['kills']} dead TSV pillars is below the "
+            f"{min_pillar_delivery:.2f} floor"
+        )
+    for row in pillar:
+        if row["hit_cycle_limit"]:
+            failures.append(
+                f"pillar level {row['kills']} never finished its drain "
+                "(hit_cycle_limit)"
+            )
 
     burst = results["burst"]
     clean = _burst_cell(burst, 0.0, None)
@@ -294,6 +362,7 @@ def main(argv: list | None = None) -> int:
     parser.add_argument("--max-reconvergence", type=int, default=2000)
     parser.add_argument("--min-reroute-gain", type=float, default=0.01)
     parser.add_argument("--min-burst-delivery", type=float, default=0.90)
+    parser.add_argument("--min-pillar-delivery", type=float, default=0.90)
     args = parser.parse_args(argv)
 
     results = measure()
@@ -305,6 +374,7 @@ def main(argv: list | None = None) -> int:
         "git_rev": git_rev(),
         "scenario": SCENARIO,
         "degradation": results["degradation"],
+        "pillar": results["pillar"],
         "burst": results["burst"],
     }
 
@@ -330,6 +400,7 @@ def main(argv: list | None = None) -> int:
             args.min_burst_delivery,
             stormy_rate,
             stormy_wear,
+            args.min_pillar_delivery,
         )
         if failures:
             for failure in failures:
