@@ -1,4 +1,4 @@
-"""The config lint rule catalogue (rules ``NOC001``..``NOC015``).
+"""The config lint rule catalogue (rules ``NOC001``..``NOC016``).
 
 Each rule is a small function from a :class:`LintContext` to zero or more
 :class:`~repro.analysis.diagnostics.Diagnostic` records.  Rules are
@@ -578,3 +578,38 @@ def _noc015_burst_outlasts_retx(ctx: LintContext) -> Iterable[Diagnostic]:
                 f"(strike rate {fault.rate:g} corrupts each replay in turn)",
             ),
         )
+
+
+@rule("NOC016", "checkpoint interval never fires before the run ends")
+def _noc016_checkpoint_interval_exceeds_run(
+    ctx: LintContext,
+) -> Iterable[Diagnostic]:
+    interval = ctx.data.get("checkpoint_interval")
+    max_cycles = ctx.workload("max_cycles")
+    if not isinstance(interval, int) or not isinstance(max_cycles, int):
+        return
+    if interval < max_cycles:
+        return
+    # The first checkpoint would fire at cycle `interval`, which the run
+    # can never reach: the checkpoint file stays empty, and every
+    # supervised retry restarts from cycle 0 — checkpointing is configured
+    # but inert (docs/CAMPAIGNS.md).
+    yield Diagnostic(
+        rule_id="NOC016",
+        severity=Severity.WARNING,
+        message=(
+            f"checkpoint_interval {interval} >= max_cycles {max_cycles}: "
+            "the run ends before the first checkpoint is ever written, so "
+            "retries cannot resume and always restart from cycle 0"
+        ),
+        hint=(
+            "lower checkpoint_interval well below the workload's "
+            "max_cycles (a few checkpoints per attempt), or drop "
+            "checkpointing if resume-on-retry is not wanted"
+        ),
+        witness=(
+            f"first checkpoint due at cycle {interval}",
+            f"-> run terminates by cycle {max_cycles}",
+            "-> checkpoint never written; retry resumes from nothing",
+        ),
+    )

@@ -15,6 +15,10 @@ instead of the internal class constellation:
   connectivity, livelock-freedom and deadlock-freedom (plus optional
   link-kill robustness sweeps) for a config.
 * :func:`degrade` — the graceful-degradation campaign.
+* :func:`campaign` / :func:`resume_campaign` — the durable campaign
+  service: supervised variant grids with retry backoff, deadlines, a
+  crash-proof journal and a content-addressed result cache
+  (docs/CAMPAIGNS.md).
 
 Every heavyweight type these return is re-exported here, so user code can
 type-annotate and introspect without reaching into internal modules::
@@ -37,6 +41,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.analysis.linter import DiagnosticReport, lint_config, lint_paths
+from repro.campaign import (
+    CampaignLintError,
+    CampaignRow,
+    campaign_table,
+    grid,
+    run_campaign,
+)
 from repro.analysis.verify import (
     FaultSweepVerdict,
     RoutingCertificate,
@@ -78,6 +89,13 @@ from repro.serialization import (
     result_from_dict,
     result_to_dict,
 )
+from repro.service import (
+    ResultCache,
+    RetryPolicy,
+    cache_key,
+    read_journal,
+    resume_campaign,
+)
 from repro.telemetry import (
     TelemetryConfig,
     TelemetryReport,
@@ -87,6 +105,8 @@ from repro.telemetry import (
 
 __all__ = [
     "BurstDegradationPoint",
+    "CampaignLintError",
+    "CampaignRow",
     "CheckpointError",
     "DegradationPoint",
     "DiagnosticReport",
@@ -106,20 +126,29 @@ __all__ = [
     "TelemetryConfig",
     "TelemetryReport",
     "WorkloadConfig",
+    "ResultCache",
+    "RetryPolicy",
+    "cache_key",
+    "campaign",
+    "campaign_table",
     "config_from_dict",
     "config_to_dict",
     "degrade",
     "degrade_burst",
     "envelope",
+    "grid",
     "lint",
     "load_checkpoint",
     "load_config",
     "read_checkpoint_header",
+    "read_journal",
     "result_from_dict",
     "result_to_dict",
     "resume",
+    "resume_campaign",
     "resume_from",
     "run",
+    "run_campaign",
     "save_checkpoint",
     "sweep",
     "validate_ndjson_lines",
@@ -380,3 +409,31 @@ def degrade_burst(**kwargs: Any) -> List[BurstDegradationPoint]:
     :func:`repro.experiments.degradation.run_burst_degradation` for the
     keyword surface (burst_rates, wear_thresholds, num_sites, ...)."""
     return run_burst_degradation(**kwargs)
+
+
+def campaign(
+    variants: Optional[List[Any]] = None,
+    *,
+    axes: Optional[Mapping[str, List[Any]]] = None,
+    base: Optional[ConfigLike] = None,
+    **kwargs: Any,
+) -> Any:
+    """Run a campaign of config variants under the campaign service.
+
+    Pass either explicit ``variants`` — ``(name, SimulationConfig)``
+    pairs — or ``axes`` (dotted-path → values, expanded as a cartesian
+    :func:`grid` over ``base``).  All of
+    :func:`repro.campaign.run_campaign`'s keywords pass through:
+    ``processes``, ``retries``, ``timeout``, ``deadline``, ``backoff``
+    (a :class:`RetryPolicy`), ``journal_path``, ``cache_dir``,
+    ``checkpoint_dir``, ``return_stats``, ...  Resume a journaled
+    campaign with :func:`resume_campaign`.  See docs/CAMPAIGNS.md.
+    """
+    if variants is None:
+        if axes is None:
+            raise ValueError("campaign() needs variants or axes")
+        base_config = load_config(base) if base is not None else None
+        variants = grid(axes, base_config)
+    elif axes is not None:
+        raise ValueError("give either variants or axes, not both")
+    return run_campaign(variants, **kwargs)

@@ -13,6 +13,10 @@ Commands:
 * ``degrade`` — the graceful-degradation campaign: progressively kill
   random links (the last one mid-run) under fault-aware table routing and
   report the delivery-rate / latency-inflation / reconvergence curve.
+* ``campaign`` — the durable campaign service: run a JSON spec of config
+  variants under full supervision (journal, retry backoff, per-attempt
+  timeouts, whole-campaign deadline, content-addressed result cache) and
+  resume a crashed campaign with ``--resume`` (docs/CAMPAIGNS.md).
 * ``lint`` — the static NoC linter: check JSON config files (or a config
   assembled from the same flags ``run`` takes) against the ``NOC0xx`` rule
   catalogue and the channel-dependency-graph deadlock-freedom verifier.
@@ -525,6 +529,117 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the curve as JSON"
     )
     degrade.add_argument("--no-chart", action="store_true")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run (or resume) a durable, cache-aware campaign of variants",
+        description=(
+            "Run a campaign spec — a JSON object with either "
+            "{'base': CONFIG, 'axes': {'dotted.path': [values, ...]}} "
+            "(cartesian grid) or {'variants': [{'name': ..., 'config': "
+            "CONFIG}, ...]} — under the supervised campaign service: "
+            "watchdogged worker processes, exponential-backoff retries, an "
+            "optional whole-campaign deadline, a durable journal and a "
+            "content-addressed result cache (docs/CAMPAIGNS.md).  With "
+            "--dir the campaign survives a supervisor crash: "
+            "'repro campaign --resume DIR' re-enqueues only unfinished "
+            "variants.  Exit status 1 if any variant failed."
+        ),
+    )
+    campaign.add_argument(
+        "spec",
+        nargs="?",
+        help="campaign spec JSON file (omit with --resume)",
+    )
+    campaign.add_argument(
+        "--dir",
+        metavar="DIR",
+        help="campaign state directory: journal.jsonl, checkpoints/ and "
+        "cache/ live here; makes the campaign resumable",
+    )
+    campaign.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="resume a crashed campaign from DIR/journal.jsonl (settings "
+        "default to the values recorded in the journal header; flags "
+        "override them)",
+    )
+    campaign.add_argument(
+        "--processes", type=int, help="worker processes (default 1)"
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        help="extra attempts per failing variant (default 0)",
+    )
+    campaign.add_argument(
+        "--timeout",
+        type=float,
+        help="per-attempt wall-clock bound in seconds (SIGKILL + "
+        "error='timeout' beyond it)",
+    )
+    campaign.add_argument(
+        "--deadline",
+        type=float,
+        help="whole-campaign wall-clock bound in seconds; unfinished "
+        "variants get partial rows with error='campaign_deadline'",
+    )
+    campaign.add_argument(
+        "--grace",
+        type=float,
+        help="seconds in-flight workers get to finish after the deadline "
+        "before being SIGKILLed (default 2)",
+    )
+    campaign.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        metavar="N",
+        help="cycles between worker checkpoints (default 500; retries "
+        "resume from the last good checkpoint)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed result cache (default: DIR/cache under "
+        "--dir)",
+    )
+    campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this run",
+    )
+    campaign.add_argument(
+        "--cache-verify",
+        action="store_true",
+        help="re-run cached variants and byte-compare against the stored "
+        "envelope (mismatches are reported and the cache refreshed)",
+    )
+    campaign.add_argument(
+        "--backoff-base",
+        type=float,
+        help="first retry delay in seconds (0 disables backoff; default "
+        "0.05, doubling per attempt)",
+    )
+    campaign.add_argument(
+        "--backoff-max",
+        type=float,
+        help="retry delay ceiling in seconds (default 2)",
+    )
+    campaign.add_argument(
+        "--backoff-seed",
+        type=int,
+        help="seed for the deterministic retry jitter (default 0)",
+    )
+    campaign.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the pre-run lint pass over every variant",
+    )
+    campaign.add_argument(
+        "--json",
+        action="store_true",
+        help="emit rows and service stats as JSON",
+    )
 
     sweep = sub.add_parser("sweep", help="latency vs injection rate")
     _add_shape_flags(sweep)
@@ -1097,6 +1212,194 @@ def _cmd_degrade_burst(args: argparse.Namespace) -> int:
     return 0
 
 
+def _deep_merge(base: Dict[str, Any], override: Dict[str, Any]) -> Dict[str, Any]:
+    """Recursively overlay ``override`` onto ``base`` (dicts merge,
+    everything else replaces)."""
+    out = dict(base)
+    for key, value in override.items():
+        if isinstance(value, dict) and isinstance(out.get(key), dict):
+            out[key] = _deep_merge(out[key], value)
+        else:
+            out[key] = value
+    return out
+
+
+def _campaign_variants(data: Dict[str, Any]) -> List[Any]:
+    """Materialize a campaign spec's variant list (grid or explicit).
+
+    Spec configs are partial: they overlay the default
+    :class:`SimulationConfig`, so a spec only states what it varies.
+    """
+    from repro.campaign import grid
+    from repro.serialization import config_from_dict, config_to_dict
+
+    defaults = config_to_dict(SimulationConfig())
+    if "variants" in data:
+        return [
+            (v["name"], config_from_dict(_deep_merge(defaults, v["config"])))
+            for v in data["variants"]
+        ]
+    if "axes" in data:
+        base = config_from_dict(_deep_merge(defaults, data.get("base", {})))
+        return grid(data["axes"], base)
+    raise ValueError("campaign spec needs an 'axes' or 'variants' key")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.campaign import (
+        CampaignLintError,
+        campaign_row_to_dict,
+        campaign_table,
+        run_campaign,
+    )
+    from repro.service import JournalError, RetryPolicy, resume_campaign
+
+    if bool(args.spec) == bool(args.resume):
+        print(
+            "error: give a campaign spec file or --resume DIR (not both)",
+            file=sys.stderr,
+        )
+        return 2
+    backoff = None
+    if (
+        args.backoff_base is not None
+        or args.backoff_max is not None
+        or args.backoff_seed is not None
+    ):
+        overrides: Dict[str, Any] = {}
+        if args.backoff_base is not None:
+            overrides["base"] = args.backoff_base
+            if args.backoff_max is None:
+                overrides["maximum"] = max(
+                    args.backoff_base, RetryPolicy().maximum
+                )
+        if args.backoff_max is not None:
+            overrides["maximum"] = args.backoff_max
+        if args.backoff_seed is not None:
+            overrides["seed"] = args.backoff_seed
+        try:
+            backoff = RetryPolicy(**overrides)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        if args.resume:
+            rows, stats = resume_campaign(
+                os.path.join(args.resume, "journal.jsonl"),
+                processes=args.processes,
+                retries=args.retries,
+                timeout=args.timeout,
+                deadline=args.deadline,
+                deadline_grace=args.grace,
+                checkpoint_interval=args.checkpoint_interval,
+                backoff=backoff,
+                cache_dir=args.cache_dir,
+                cache_verify=True if args.cache_verify else None,
+            )
+        else:
+            try:
+                with open(args.spec) as fh:
+                    data = json.load(fh)
+                variants = _campaign_variants(data)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                print(f"error: {args.spec}: {exc}", file=sys.stderr)
+                return 2
+            journal_path = checkpoint_dir = cache_dir = None
+            if args.dir:
+                os.makedirs(args.dir, exist_ok=True)
+                journal_path = os.path.abspath(
+                    os.path.join(args.dir, "journal.jsonl")
+                )
+                checkpoint_dir = os.path.abspath(
+                    os.path.join(args.dir, "checkpoints")
+                )
+                cache_dir = os.path.abspath(os.path.join(args.dir, "cache"))
+            if args.cache_dir:
+                cache_dir = os.path.abspath(args.cache_dir)
+            if args.no_cache:
+                cache_dir = None
+            processes = args.processes if args.processes is not None else 1
+            retries = args.retries if args.retries is not None else 0
+            grace = args.grace if args.grace is not None else 2.0
+            interval = (
+                args.checkpoint_interval
+                if args.checkpoint_interval is not None
+                else 500
+            )
+            meta: Dict[str, Any] = {
+                "processes": processes,
+                "retries": retries,
+                "timeout": args.timeout,
+                "deadline": args.deadline,
+                "deadline_grace": grace,
+                "checkpoint_dir": checkpoint_dir,
+                "checkpoint_interval": interval,
+                "cache_dir": cache_dir,
+                "cache_verify": args.cache_verify,
+            }
+            if backoff is not None:
+                meta["backoff"] = backoff.to_dict()
+            rows, stats = run_campaign(
+                variants,
+                processes=processes,
+                lint=not args.no_lint,
+                retries=retries,
+                timeout=args.timeout,
+                deadline=args.deadline,
+                deadline_grace=grace,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_interval=interval,
+                backoff=backoff,
+                journal_path=journal_path,
+                journal_meta=meta,
+                cache_dir=cache_dir,
+                cache_verify=args.cache_verify,
+                return_stats=True,
+            )
+    except CampaignLintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (JournalError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failed = sum(1 for r in rows if r.failed)
+    if args.json:
+        from repro.serialization import envelope
+
+        print(
+            json.dumps(
+                envelope(
+                    "campaign",
+                    {
+                        "rows": [campaign_row_to_dict(r) for r in rows],
+                        "stats": stats,
+                    },
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(campaign_table(rows))
+        summary = (
+            f"\n{len(rows)} variant(s): {len(rows) - failed} ok, "
+            f"{failed} failed"
+        )
+        if stats:
+            summary += (
+                f" — {stats.get('attempts', 0)} attempt(s), "
+                f"{stats.get('retries', 0)} retried, "
+                f"{stats.get('cache_hits', 0)} from cache, "
+                f"{stats.get('wall_s', 0.0):.2f}s wall"
+            )
+        print(summary)
+    return 1 if failed else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.noc.simulator import run_simulation
 
@@ -1184,6 +1487,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_table1()
         if args.command == "degrade":
             return _cmd_degrade(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
     except BrokenPipeError:

@@ -37,7 +37,7 @@ def rule_ids(report):
 class TestCatalogue:
     def test_ids_are_stable_and_ordered(self):
         ids = [entry.rule_id for entry in iter_rules()]
-        assert ids == [f"NOC{n:03d}" for n in range(1, 16)]
+        assert ids == [f"NOC{n:03d}" for n in range(1, 17)]
 
     def test_paper_baseline_is_clean(self):
         assert len(lint_config(make_config())) == 0
@@ -530,3 +530,33 @@ class TestNOC015BurstOutlastsRetx:
             )
         )
         assert not report.by_rule("NOC015")
+
+
+class TestNOC016CheckpointIntervalExceedsRun:
+    def _config(self, interval, max_cycles=1000):
+        return make_config(workload=dict(max_cycles=max_cycles)).replace(
+            checkpoint_interval=interval,
+            checkpoint_path="variant.ckpt" if interval is not None else None,
+        )
+
+    def test_fires_when_interval_exceeds_max_cycles(self):
+        report = lint_config(self._config(5000))
+        (diag,) = report.by_rule("NOC016")
+        assert diag.severity is Severity.WARNING
+        assert "5000" in diag.message and "1000" in diag.message
+        assert "restart from cycle 0" in diag.message
+        assert diag.witness
+
+    def test_fires_on_the_equal_boundary(self):
+        # interval == max_cycles: the run terminates *at* the cycle the
+        # first checkpoint would fire, so nothing durable ever lands.
+        report = lint_config(self._config(1000))
+        assert report.by_rule("NOC016")
+
+    def test_quiet_when_checkpoints_actually_fire(self):
+        report = lint_config(self._config(100))
+        assert not report.by_rule("NOC016")
+
+    def test_quiet_without_checkpointing(self):
+        report = lint_config(self._config(None))
+        assert not report.by_rule("NOC016")

@@ -195,3 +195,70 @@ class TestLegacyRetriesFix:
     def test_clean_run_single_attempt(self):
         rows = run_campaign([("v", _small())], retries=5)
         assert rows[0].metadata["attempts"] == 1
+
+
+class TestAttemptErrors:
+    def test_failed_attempts_recorded_in_order_legacy(self):
+        [row] = run_campaign([("bad", _crashing())], retries=2, lint=False)
+        errors = row.metadata["attempt_errors"]
+        assert len(errors) == 3
+        assert all("no_such_pattern" in e for e in errors)
+        assert row.error == errors[-1]
+
+    def test_failed_attempts_recorded_in_order_supervised(self):
+        [row] = run_campaign(
+            [("bad", _crashing())], retries=2, timeout=120.0, lint=False
+        )
+        errors = row.metadata["attempt_errors"]
+        assert len(errors) == 3
+        assert all("no_such_pattern" in e for e in errors)
+        assert row.error == errors[-1]
+
+    def test_clean_rows_omit_the_key(self):
+        [legacy] = run_campaign([("v", _small())], retries=3)
+        [supervised] = run_campaign([("v", _small())], timeout=120.0)
+        assert "attempt_errors" not in legacy.metadata
+        assert "attempt_errors" not in supervised.metadata
+
+
+class TestCheckpointDiscard:
+    """A corrupt/truncated checkpoint between attempts must not fail the
+    variant: the retry discards it, restarts from cycle 0 and records the
+    discard in metadata — no CheckpointError escapes."""
+
+    def _run(self, tmp_path, config):
+        return run_campaign(
+            [("v", config)],
+            checkpoint_dir=str(tmp_path),
+            checkpoint_interval=50,
+        )
+
+    def test_truncated_checkpoint_restarts_from_zero(self, tmp_path):
+        config = _small()
+        [golden] = run_campaign([("v", config)])
+        ckpt = tmp_path / "variant_0000.ckpt"
+        sim = Simulator(
+            config.replace(checkpoint_interval=50, checkpoint_path=str(ckpt))
+        )
+        sim.run_to_cycle(60)
+        save_checkpoint(sim, ckpt)
+        del sim
+        with open(ckpt, "r+b") as fh:  # a crash mid-write tears the file
+            fh.truncate(40)
+        [row] = self._run(tmp_path, config)
+        assert row.error is None
+        assert row.metadata["checkpoint_discarded"]
+        assert row.metadata["resumed_from_cycle"] is None  # cycle-0 restart
+        assert row.metadata["attempts"] == 1
+        assert row.avg_latency == golden.avg_latency
+        assert row.packets_delivered == golden.packets_delivered
+        assert not ckpt.exists()
+
+    def test_garbage_checkpoint_restarts_from_zero(self, tmp_path):
+        config = _small()
+        ckpt = tmp_path / "variant_0000.ckpt"
+        ckpt.write_bytes(b"not a checkpoint at all" * 4)
+        [row] = self._run(tmp_path, config)
+        assert row.error is None
+        assert row.metadata["checkpoint_discarded"]
+        assert row.metadata["resumed_from_cycle"] is None

@@ -425,3 +425,153 @@ class TestShapeFlags:
                    "--messages", "60", "--warmup", "10"])
         assert rc == 2
         assert "no such link" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    """The fleet-scale campaign service front-end (docs/CAMPAIGNS.md)."""
+
+    def _spec(self, tmp_path, names=("a", "b")):
+        import json
+
+        config = {
+            "noc": {"width": 3, "height": 3},
+            "workload": {
+                "num_messages": 120,
+                "warmup_messages": 20,
+                "injection_rate": 0.1,
+                "seed": 3,
+            },
+        }
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {"variants": [{"name": n, "config": config} for n in names]}
+            )
+        )
+        return str(spec)
+
+    def test_parser_defaults(self):
+        # Unset flags stay None so --resume can tell "not given" from
+        # "explicitly the default" when overriding journal settings.
+        args = build_parser().parse_args(["campaign", "spec.json"])
+        assert args.processes is None and args.retries is None
+        assert args.resume is None and not args.no_cache
+
+    def test_spec_and_resume_are_exclusive(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "spec" in capsys.readouterr().err
+        assert main(["campaign", "spec.json", "--resume", "dir"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_campaign_dir_layout_and_envelope(self, capsys, tmp_path):
+        import json
+        import os
+
+        camp = str(tmp_path / "camp")
+        rc = main(
+            ["campaign", self._spec(tmp_path), "--dir", camp, "--json"]
+        )
+        assert rc == 0
+        env = json.loads(capsys.readouterr().out)
+        assert env["schema"] == "repro/v1"
+        assert env["command"] == "campaign"
+        rows = env["result"]["rows"]
+        assert [r["name"] for r in rows] == ["a", "b"]
+        assert all(r["error"] is None for r in rows)
+        # Variant b duplicates a's config, so it is served from cache.
+        assert rows[1]["metadata"]["cache_hit"] is True
+        assert env["result"]["stats"]["cache_hits"] == 1
+        assert os.path.exists(os.path.join(camp, "journal.jsonl"))
+        assert os.path.isdir(os.path.join(camp, "cache"))
+
+    def test_rerunning_a_dir_requires_resume(self, capsys, tmp_path):
+        spec = self._spec(tmp_path)
+        camp = str(tmp_path / "camp")
+        assert main(["campaign", spec, "--dir", camp, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", spec, "--dir", camp]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_resume_completed_campaign_is_a_no_op_replay(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        camp = str(tmp_path / "camp")
+        assert (
+            main(["campaign", self._spec(tmp_path), "--dir", camp, "--json"])
+            == 0
+        )
+        first = json.loads(capsys.readouterr().out)
+        assert main(["campaign", "--resume", camp, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        metric = lambda r: (r["avg_latency"], r["packets_delivered"])  # noqa: E731
+        assert [metric(r) for r in second["result"]["rows"]] == [
+            metric(r) for r in first["result"]["rows"]
+        ]
+        assert second["result"]["stats"]["attempts"] == 1  # all carried
+
+    def test_resume_missing_dir_exits_2(self, capsys, tmp_path):
+        rc = main(["campaign", "--resume", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "journal" in capsys.readouterr().err
+
+    def test_grid_spec_expands_axes(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "grid.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "base": {
+                        "noc": {"width": 3, "height": 3},
+                        "workload": {
+                            "num_messages": 120,
+                            "warmup_messages": 20,
+                        },
+                    },
+                    "axes": {
+                        "workload.injection_rate": [0.05, 0.1],
+                        "workload.seed": [1, 2],
+                    },
+                }
+            )
+        )
+        camp = str(tmp_path / "camp")
+        rc = main(["campaign", str(spec), "--dir", camp, "--json"])
+        assert rc == 0
+        env = json.loads(capsys.readouterr().out)
+        rows = env["result"]["rows"]
+        assert len(rows) == 4
+        assert all(r["error"] is None for r in rows)
+        rates = {r["config"]["workload"]["injection_rate"] for r in rows}
+        assert rates == {0.05, 0.1}
+
+    def test_failed_variant_exits_1(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "bad.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "variants": [
+                        {
+                            "name": "bad",
+                            "config": {
+                                "workload": {"pattern": "no_such_pattern"}
+                            },
+                        }
+                    ]
+                }
+            )
+        )
+        rc = main(
+            [
+                "campaign", str(spec),
+                "--dir", str(tmp_path / "camp"),
+                "--no-lint", "--json",
+            ]
+        )
+        assert rc == 1
+        env = json.loads(capsys.readouterr().out)
+        assert "no_such_pattern" in env["result"]["rows"][0]["error"]

@@ -13,10 +13,11 @@ External links (``http://``, ``https://``, ``mailto:``) are skipped — CI
 must not flake on someone else's server.
 
 Additionally enforces **module coverage**: every module under
-``src/repro/noc/`` and ``src/repro/faults/`` must be referenced from at
-least one page in ``docs/`` (as ``noc/<mod>.py``, ``noc.<mod>``, or
-inside a ``noc/{a,b}.py`` brace group — likewise for ``faults/``), so
-new simulator and fault-model modules cannot land undocumented.
+``src/repro/noc/``, ``src/repro/faults/`` and ``src/repro/service/``
+must be referenced from at least one page in ``docs/`` (as
+``noc/<mod>.py``, ``noc.<mod>``, or inside a ``noc/{a,b}.py`` brace
+group — likewise for ``faults/`` and ``service/``), so new simulator,
+fault-model and campaign-service modules cannot land undocumented.
 
 Exits non-zero listing every broken link or uncovered module.  Also usable
 as a library (``tests/test_docs_links.py``).
@@ -99,7 +100,7 @@ def check_file(path: pathlib.Path) -> List[str]:
 
 #: Directories whose modules every docs page set must cover, relative to
 #: the repo root.
-MODULE_DIRS = ["src/repro/noc", "src/repro/faults"]
+MODULE_DIRS = ["src/repro/noc", "src/repro/faults", "src/repro/service"]
 
 #: How a docs page may reference a module: ``noc/kernel.py``,
 #: ``repro.noc.kernel``, or a brace group like ``noc/{flit,packet}.py``
@@ -107,9 +108,9 @@ MODULE_DIRS = ["src/repro/noc", "src/repro/faults"]
 #: ``faults/``.  Scanned on raw text — the ARCHITECTURE.md diagram lives
 #: inside a code fence.
 MODULE_REF = re.compile(
-    r"(?:noc|faults)/\{([\w,]+)\}\.py"
-    r"|(?:noc|faults)/(\w+)\.py"
-    r"|(?:noc|faults)\.(\w+)"
+    r"(?:noc|faults|service)/\{([\w,]+)\}\.py"
+    r"|(?:noc|faults|service)/(\w+)\.py"
+    r"|(?:noc|faults|service)\.(\w+)"
 )
 
 
@@ -150,6 +151,7 @@ REQUIRED_PAGES = [
     "docs/VERIFICATION.md",
     "docs/FAULTS.md",
     "docs/TOPOLOGY.md",
+    "docs/CAMPAIGNS.md",
 ]
 
 
