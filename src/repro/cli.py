@@ -1297,6 +1297,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 checkpoint_interval=args.checkpoint_interval,
                 backoff=backoff,
                 cache_dir=args.cache_dir,
+                no_cache=args.no_cache,
                 cache_verify=True if args.cache_verify else None,
             )
         else:

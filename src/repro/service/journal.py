@@ -106,12 +106,23 @@ class CampaignJournal:
 
     @classmethod
     def append_to(cls, path: Union[str, Path]) -> "CampaignJournal":
-        """Open an existing journal for further appends (resume path)."""
+        """Open an existing journal for further appends (resume path).
+
+        Repairs a torn final line first: a SIGKILLed append leaves a
+        partial record with no trailing newline, and appending after it
+        would weld the next record onto the fragment — turning damage
+        :func:`read_journal` tolerates (a torn *tail*) into mid-file
+        corruption it rejects.  Truncating back to the last committed
+        newline restores the invariant that every record starts on a
+        fresh line.
+        """
         path = Path(path)
-        with open(path, "r", encoding="utf-8") as fh:
-            first = fh.readline()
-        if first.rstrip("\n") != JOURNAL_MAGIC:
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if not data.startswith((JOURNAL_MAGIC + "\n").encode("utf-8")):
             raise JournalError(f"{path}: not a campaign journal (bad magic)")
+        if not data.endswith(b"\n"):
+            os.truncate(path, data.rfind(b"\n") + 1)
         return cls(path, open(path, "a", encoding="utf-8"))
 
     def append(self, type_: str, **fields: Any) -> None:

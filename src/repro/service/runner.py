@@ -28,7 +28,12 @@ from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.service.cache import ResultCache, cache_key, canonical_envelope
-from repro.service.journal import CampaignJournal, JournalState, read_journal
+from repro.service.journal import (
+    CampaignJournal,
+    JournalError,
+    JournalState,
+    read_journal,
+)
 from repro.service.policy import RetryPolicy
 
 __all__ = ["CampaignOutcome", "resume_campaign", "run_service_campaign"]
@@ -189,7 +194,13 @@ def run_service_campaign(
         if resume_state is not None:
             journal = CampaignJournal.append_to(journal_path)
         else:
-            journal = CampaignJournal.create(journal_path, journal_meta)
+            # The header carries the expected variant count so a resume
+            # can detect a journal whose enqueue phase was cut short (a
+            # supervisor crash mid-enqueue commits only a prefix of the
+            # queued records).
+            header = dict(journal_meta or {})
+            header.setdefault("variants", len(items))
+            journal = CampaignJournal.create(journal_path, header)
 
     def record(type_: str, **fields: Any) -> None:
         if journal is not None:
@@ -224,6 +235,13 @@ def run_service_campaign(
                 )
                 if job.index in resume_state.rows:
                     job.row = resume_state.rows[job.index]
+                    # Pre-crash results count toward the service totals,
+                    # so the summary record and --json stats cover the
+                    # whole campaign, not just the resumed share.
+                    if job.row.get("error") is None:
+                        stats["completed"] += 1
+                    else:
+                        stats["failed"] += 1
             record(
                 "resumed",
                 finished=len(resume_state.rows),
@@ -554,6 +572,7 @@ def resume_campaign(
     checkpoint_interval: Optional[int] = None,
     backoff: Optional[RetryPolicy] = None,
     cache_dir: Optional[str] = None,
+    no_cache: bool = False,
     cache_verify: Optional[bool] = None,
 ) -> Tuple[List[Any], Dict[str, Any]]:
     """Resume a journaled campaign after a supervisor crash.
@@ -561,14 +580,30 @@ def resume_campaign(
     Replays the journal, re-enqueues only variants without a terminal
     record (completed variants keep their recorded rows and are never
     re-run), and continues under the same settings the journal's header
-    recorded — any keyword given here overrides the recorded value.
-    Returns ``(rows, stats)`` with rows as typed
-    :class:`~repro.campaign.CampaignRow` in the original queue order.
+    recorded — any keyword given here overrides the recorded value, and
+    ``no_cache=True`` disables the result cache even when the header
+    recorded a ``cache_dir``.  Returns ``(rows, stats)`` with rows as
+    typed :class:`~repro.campaign.CampaignRow` in the original queue
+    order.
+
+    Raises :class:`JournalError` when the journal holds fewer ``queued``
+    records than the header's expected variant count: the supervisor
+    crashed mid-enqueue, the missing variants' configs were never
+    journaled, and resuming would silently drop them — restart such a
+    campaign from its spec instead.
     """
     from repro.campaign import rows_from_raw
 
     state = read_journal(journal_path)
     meta = state.meta
+    expected = meta.get("variants")
+    if expected is not None and len(state.variants) < expected:
+        raise JournalError(
+            f"{journal_path}: journal holds {len(state.variants)} of "
+            f"{expected} queued variants — the supervisor crashed before "
+            "the work list was fully journaled, so the missing variants "
+            "cannot be resumed; restart the campaign from its spec"
+        )
 
     def setting(override: Any, key: str, default: Any) -> Any:
         if override is not None:
@@ -593,7 +628,7 @@ def resume_campaign(
         ),
         backoff=backoff,
         journal_path=journal_path,
-        cache_dir=setting(cache_dir, "cache_dir", None),
+        cache_dir=None if no_cache else setting(cache_dir, "cache_dir", None),
         cache_verify=bool(setting(cache_verify, "cache_verify", False)),
         resume_state=state,
     )

@@ -511,6 +511,32 @@ class TestCampaignCommand:
         ]
         assert second["result"]["stats"]["attempts"] == 1  # all carried
 
+    def test_resume_honors_no_cache(self, capsys, tmp_path):
+        import json
+        import os
+
+        from repro.service import CampaignJournal, read_journal
+
+        camp = str(tmp_path / "camp")
+        assert (
+            main(["campaign", self._spec(tmp_path), "--dir", camp, "--json"])
+            == 0
+        )
+        capsys.readouterr()
+        # Queue a third variant duplicating the (now cached) config, then
+        # resume with --no-cache: it must re-run, not hit the cache.
+        jpath = os.path.join(camp, "journal.jsonl")
+        config = read_journal(jpath).variants[0]["config"]
+        with CampaignJournal.append_to(jpath) as journal:
+            journal.append("queued", variant=2, name="c", config=config)
+        rc = main(["campaign", "--resume", camp, "--no-cache", "--json"])
+        assert rc == 0
+        env = json.loads(capsys.readouterr().out)
+        fresh = env["result"]["rows"][2]
+        assert fresh["error"] is None
+        assert "cache_hit" not in fresh["metadata"]
+        assert env["result"]["stats"]["cache_hits"] == 0
+
     def test_resume_missing_dir_exits_2(self, capsys, tmp_path):
         rc = main(["campaign", "--resume", str(tmp_path / "nope")])
         assert rc == 2

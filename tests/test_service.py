@@ -101,6 +101,21 @@ class TestJournal:
         assert len(state.records) == 1  # the torn record never happened
         assert state.rows == {}
 
+    def test_append_to_repairs_torn_tail(self, tmp_path):
+        """Appending after a SIGKILL-torn tail must truncate the torn
+        fragment first — otherwise the next record welds onto it and
+        every later read rejects the file as corrupt mid-stream."""
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal.create(path) as journal:
+            journal.append("queued", variant=0, name="v", config={})
+        with open(path, "a") as fh:  # what a SIGKILL mid-append leaves
+            fh.write('{"type": "done", "vari')
+        with CampaignJournal.append_to(path) as journal:
+            journal.append("resumed", finished=0, pending=1)
+        state = read_journal(path)
+        assert not state.torn_tail
+        assert [r["type"] for r in state.records] == ["queued", "resumed"]
+
     def test_midfile_corruption_raises(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         with CampaignJournal.create(path) as journal:
@@ -330,6 +345,7 @@ class TestJournalResume:
         [row] = rows
         assert row.avg_latency == original.avg_latency
         assert stats["attempts"] == 1  # carried, not re-spent
+        assert stats["completed"] == 1  # pre-crash rows count in stats
         after = read_journal(journal_path)
         # Resume appended bookkeeping (resumed + summary), never a lease.
         new = after.records[len(before.records):]
@@ -351,6 +367,7 @@ class TestJournalResume:
         assert [r.name for r in rows] == ["v", "w"]
         assert all(r.error is None for r in rows)
         assert stats["attempts"] == 2  # one carried + one fresh lease
+        assert stats["completed"] == 2  # one carried + one fresh result
         leases = [
             r for r in read_journal(journal_path).records
             if r["type"] == "leased"
@@ -360,6 +377,75 @@ class TestJournalResume:
     def test_resume_missing_journal_raises(self, tmp_path):
         with pytest.raises(JournalError, match="no such journal"):
             resume_campaign(str(tmp_path / "absent.jsonl"))
+
+    def test_torn_tail_then_resume_round_trip(self, tmp_path):
+        """The review repro: a supervisor SIGKILL tears the journal tail,
+        a resume appends over it, and a *second* resume (after another
+        crash) must still read the journal cleanly."""
+        journal_path = str(tmp_path / "journal.jsonl")
+        run_campaign([("v", _small())], journal_path=journal_path)
+        with CampaignJournal.append_to(journal_path) as journal:
+            journal.append(
+                "queued",
+                variant=1,
+                name="w",
+                config=config_to_dict(_small(seed=9)),
+            )
+        with open(journal_path, "a") as fh:  # SIGKILL tears the tail
+            fh.write('{"type": "leased", "vari')
+        rows, _ = resume_campaign(journal_path)
+        assert [r.name for r in rows] == ["v", "w"]
+        assert all(r.error is None for r in rows)
+        # Nothing welded onto the torn fragment: the journal reads back
+        # cleanly and a second resume is a no-op replay.
+        state = read_journal(journal_path)
+        assert not state.torn_tail
+        assert not state.unfinished
+        rows, stats = resume_campaign(journal_path)
+        assert all(r.error is None for r in rows)
+        assert stats["completed"] == 2
+
+    def test_resume_refuses_mid_enqueue_prefix(self, tmp_path):
+        """A supervisor crash mid-enqueue journals only a prefix of the
+        work list; resuming would silently drop the missing variants, so
+        resume must refuse instead."""
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal.create(path, {"variants": 3}) as journal:
+            journal.append(
+                "queued", variant=0, name="v", config=config_to_dict(_small())
+            )
+            journal.append(
+                "queued",
+                variant=1,
+                name="w",
+                config=config_to_dict(_small(seed=9)),
+            )
+        with pytest.raises(JournalError, match="2 of 3 queued variants"):
+            resume_campaign(str(path))
+
+    def test_resume_no_cache_overrides_recorded_cache_dir(self, tmp_path):
+        """--no-cache on resume must beat the cache_dir recorded in the
+        journal header, not silently fall back to it."""
+        config = _small()
+        cache_dir = str(tmp_path / "cache")
+        run_campaign([("v", config)], cache_dir=cache_dir)  # warm the cache
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal.create(
+            path, {"variants": 1, "cache_dir": cache_dir}
+        ) as journal:
+            journal.append(
+                "queued", variant=0, name="v", config=config_to_dict(config)
+            )
+        pristine = tmp_path / "journal2.jsonl"
+        pristine.write_bytes(path.read_bytes())
+        rows, stats = resume_campaign(str(path), no_cache=True)
+        assert rows[0].error is None
+        assert "cache_hit" not in rows[0].metadata
+        assert stats["cache_hits"] == 0
+        # Sanity: without the override the recorded cache_dir serves it.
+        rows, stats = resume_campaign(str(pristine))
+        assert rows[0].metadata["cache_hit"] is True
+        assert stats["cache_hits"] == 1
 
     def test_journal_records_full_lifecycle(self, tmp_path):
         journal_path = str(tmp_path / "journal.jsonl")
